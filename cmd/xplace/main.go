@@ -1,0 +1,159 @@
+// Command xplace runs the full placement flow on a design: global
+// placement (Xplace fast path or the DREAMPlace-style baseline),
+// legalization, detailed placement and optional routability scoring.
+//
+// Input is either a synthetic contest benchmark (-bench, see -list) or a
+// bookshelf .aux file (-aux). The placed result can be written back as a
+// bookshelf .pl (-out).
+//
+// Examples:
+//
+//	xplace -bench adaptec1 -scale 0.02
+//	xplace -aux design.aux -legalizer abacus -out placed.pl
+//	xplace -bench fft_1 -mode baseline -route
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xplace"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "", "synthetic benchmark name (see -list)")
+		scale     = flag.Float64("scale", 0.02, "benchmark scale factor")
+		seed      = flag.Int64("seed", 1, "generator / placer seed")
+		aux       = flag.String("aux", "", "bookshelf .aux input file")
+		mode      = flag.String("mode", "xplace", "GP engine: xplace | baseline | xplace-nn")
+		legalizer = flag.String("legalizer", "tetris", "legalizer: tetris | abacus")
+		grid      = flag.Int("grid", 0, "density grid size (power of two, 0 = auto)")
+		maxIter   = flag.Int("max-iter", 0, "GP iteration cap (0 = default)")
+		target    = flag.Float64("density", 1.0, "target density")
+		workers   = flag.Int("workers", 0, "kernel engine workers (0 = NumCPU)")
+		route     = flag.Bool("route", false, "score routability (OVFL-5) after placement")
+		model     = flag.String("model", "", "trained FNO model file (for -mode xplace-nn)")
+		out       = flag.String("out", "", "write placed .pl file")
+		svg       = flag.String("svg", "", "write placement SVG image")
+		trace     = flag.Bool("trace", false, "dump per-iteration metrics CSV to stdout")
+		list      = flag.Bool("list", false, "list available synthetic benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("ISPD 2005:")
+		for _, s := range xplace.Catalog2005() {
+			fmt.Printf("  %-16s %8d cells %8d nets\n", s.Name, s.Cells, s.Nets)
+		}
+		fmt.Println("ISPD 2015:")
+		for _, s := range xplace.Catalog2015() {
+			fmt.Printf("  %-16s %8d cells %8d nets\n", s.Name, s.Cells, s.Nets)
+		}
+		return
+	}
+
+	var d *xplace.Design
+	var err error
+	switch {
+	case *aux != "":
+		d, err = xplace.ReadBookshelf(*aux)
+	case *bench != "":
+		d, err = xplace.GenerateBenchmark(*bench, *scale, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "xplace: need -bench or -aux (see -h)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xplace:", err)
+		os.Exit(1)
+	}
+	st := d.Stats()
+	fmt.Printf("design %s: %d cells (%d movable, %d fixed), %d nets, %d pins, util %.2f\n",
+		st.Name, st.Cells, st.Movable, st.Fixed, st.Nets, st.Pins, st.Util)
+
+	opts := xplace.FlowOptions{Workers: *workers, LaunchOverhead: -1}
+	switch *mode {
+	case "baseline":
+		opts.Placement = xplace.BaselinePlacement()
+	case "xplace-nn":
+		opts.Placement = xplace.DefaultPlacement()
+		if *model == "" {
+			fmt.Fprintln(os.Stderr, "xplace: -mode xplace-nn requires -model (train one with xtrain)")
+			os.Exit(2)
+		}
+		fh, err := os.Open(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		m, err := xplace.LoadModel(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		opts.Placement.Predictor = xplace.NewFieldPredictor(m)
+	default:
+		opts.Placement = xplace.DefaultPlacement()
+	}
+	opts.Placement.GridSize = *grid
+	opts.Placement.TargetDensity = *target
+	opts.Placement.Seed = *seed
+	if *maxIter > 0 {
+		opts.Placement.Sched.MaxIter = *maxIter
+	}
+	if *legalizer == "abacus" {
+		opts.Legalizer = xplace.LegalizeAbacus
+	}
+	if *route {
+		opts.Route = &xplace.RouteOptions{}
+	}
+
+	fr, err := xplace.RunFlow(d, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xplace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("GP:    HPWL %.4g  overflow %.3f  iters %d  wall %v  sim %v\n",
+		fr.HPWLGP, fr.GP.Overflow, fr.GP.Iterations, fr.GPTime.Round(1e6), fr.GPSim.Round(1e6))
+	fmt.Printf("LG:    HPWL %.4g  (%+.2f%%)  %v\n",
+		fr.HPWLLegal, 100*(fr.HPWLLegal/fr.HPWLGP-1), fr.LGTime.Round(1e6))
+	fmt.Printf("DP:    HPWL %.4g  (%+.2f%% vs LG)  %v  violations %d\n",
+		fr.HPWLFinal, 100*(fr.HPWLFinal/fr.HPWLLegal-1), fr.DPTime.Round(1e6), fr.Violations)
+	if fr.Route != nil {
+		fmt.Printf("route: OVFL-5 %.2f  total overflow %.0f  wirelength %d gcells\n",
+			fr.Route.Top5Overflow, fr.Route.TotalOverflow, fr.Route.WirelengthGCells)
+	}
+	if *trace {
+		if err := fr.GP.Recorder.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+	}
+	if *out != "" {
+		if err := xplace.WritePlacementPl(*out, d, fr.FinalX, fr.FinalY); err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *svg != "" {
+		fh, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		if err := xplace.WriteSVG(fh, d, fr.FinalX, fr.FinalY, xplace.SVGOptions{}); err != nil {
+			fh.Close()
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		if err := fh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svg)
+	}
+}

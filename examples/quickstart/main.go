@@ -1,0 +1,67 @@
+// Quickstart: build a small design with the public API, run Xplace global
+// placement, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xplace"
+)
+
+func main() {
+	// A 64x64 die with 16 rows of height 4.
+	d := xplace.NewDesign("quickstart", 64, 64)
+	for y := 0.0; y+4 <= 64; y += 4 {
+		d.Rows = append(d.Rows, xplace.Row{Y: y, X0: 0, X1: 64, Height: 4, SiteWidth: 1})
+	}
+
+	// A 10x10 grid of cells, connected to their right and lower
+	// neighbours — the placer should recover the grid structure.
+	const n = 10
+	ids := make([]int, 0, n*n)
+	for i := 0; i < n*n; i++ {
+		// Initial positions scattered pseudo-randomly.
+		x := float64((i*37)%61) + 1
+		y := float64((i*53)%59) + 2
+		ids = append(ids, d.AddCell(fmt.Sprintf("c%d", i), 2, 4, x, y, xplace.Movable))
+	}
+	for i := 0; i < n*n; i++ {
+		if (i+1)%n != 0 {
+			d.AddNet(fmt.Sprintf("h%d", i))
+			d.AddPin(ids[i], 0, 0)
+			d.AddPin(ids[i+1], 0, 0)
+		}
+		if i+n < n*n {
+			d.AddNet(fmt.Sprintf("v%d", i))
+			d.AddPin(ids[i], 0, 0)
+			d.AddPin(ids[i+n], 0, 0)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design: %d cells, %d nets, initial HPWL %.1f\n",
+		d.NumCells(), d.NumNets(), d.HPWL(nil, nil))
+
+	// Global placement with the paper's full Xplace configuration.
+	opts := xplace.DefaultPlacement()
+	opts.GridSize = 32
+	res, err := xplace.Place(d, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global placement: HPWL %.1f, overflow %.3f, %d iterations (%v wall, %v simulated)\n",
+		res.HPWL, res.Overflow, res.Iterations, res.WallTime.Round(1e6), res.SimTime.Round(1e6))
+
+	// Legalize and refine.
+	lx, ly, err := xplace.Legalize(d, res.X, res.Y, xplace.LegalizeAbacus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx, fy := xplace.DetailedPlace(d, lx, ly, xplace.DetailOptions{})
+	fmt.Printf("legalized + detailed: HPWL %.1f, %d violations\n",
+		d.HPWL(fx, fy), xplace.CheckLegal(d, fx, fy))
+}

@@ -1,0 +1,130 @@
+package xplace
+
+// Fence-region constraint tests — the paper's stated future work,
+// implemented as an extension: cells assigned to a fence must stay inside
+// it through global placement and legalization.
+
+import (
+	"testing"
+
+	"xplace/internal/geom"
+)
+
+// fencedDesign builds a rows design where the first quarter of the cells
+// is fenced into the left third of the die.
+func fencedDesign(t *testing.T) (*Design, Rect, []int) {
+	t.Helper()
+	side := 48.0
+	d := NewDesign("fenced", side, side)
+	for y := 0.0; y+4 <= side; y += 4 {
+		d.Rows = append(d.Rows, Row{Y: y, X0: 0, X1: side, Height: 4, SiteWidth: 1})
+	}
+	fence := Rect{Lx: 0, Ly: 0, Hx: 16, Hy: 48}
+	fid := d.AddFence(fence)
+	n := 160
+	var fenced []int
+	for i := 0; i < n; i++ {
+		x := float64((i*31)%44) + 2
+		y := float64((i*17)%40) + 2
+		c := d.AddCell("c", 2, 4, x, y, Movable)
+		if i < n/4 {
+			d.SetFence(c, fid)
+			fenced = append(fenced, c)
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		d.AddNet("n")
+		d.AddPin(i, 0, 0)
+		d.AddPin(i+1, 0, 0)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return d, fence, fenced
+}
+
+func TestFenceRespectedByGlobalPlacement(t *testing.T) {
+	d, fence, fenced := fencedDesign(t)
+	opts := DefaultPlacement()
+	opts.GridSize = 32
+	opts.Sched.MaxIter = 250
+	res, err := Place(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fenced {
+		hw, hh := d.CellW[c]/2, d.CellH[c]/2
+		r := geom.Rect{Lx: res.X[c] - hw, Ly: res.Y[c] - hh, Hx: res.X[c] + hw, Hy: res.Y[c] + hh}
+		if !fence.ContainsRect(r) {
+			t.Fatalf("fenced cell %d escaped to %v (fence %v)", c, r, fence)
+		}
+	}
+}
+
+func TestFenceRespectedThroughLegalization(t *testing.T) {
+	d, fence, fenced := fencedDesign(t)
+	opts := DefaultPlacement()
+	opts.GridSize = 32
+	opts.Sched.MaxIter = 250
+	res, err := Place(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, ly, err := Legalize(d, res.X, res.Y, LegalizeTetris)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := CheckLegal(d, lx, ly); v != 0 {
+		t.Fatalf("%d violations after fence-aware legalization", v)
+	}
+	for _, c := range fenced {
+		hw, hh := d.CellW[c]/2, d.CellH[c]/2
+		r := geom.Rect{Lx: lx[c] - hw, Ly: ly[c] - hh, Hx: lx[c] + hw, Hy: ly[c] + hh}
+		if !fence.ContainsRect(r) {
+			t.Fatalf("fenced cell %d legalized outside fence: %v", c, r)
+		}
+	}
+}
+
+func TestAbacusRejectsFences(t *testing.T) {
+	d, _, _ := fencedDesign(t)
+	if _, _, err := Legalize(d, d.CellX, d.CellY, LegalizeAbacus); err == nil {
+		t.Error("Abacus must reject fence-constrained designs")
+	}
+}
+
+func TestFenceViolationDetected(t *testing.T) {
+	d, _, fenced := fencedDesign(t)
+	x := append([]float64(nil), d.CellX...)
+	y := append([]float64(nil), d.CellY...)
+	// Force a fenced cell far outside its fence but onto a legal row slot.
+	x[fenced[0]] = 41
+	y[fenced[0]] = 2
+	if v := CheckLegal(d, x, y); v == 0 {
+		t.Error("fence violation not detected")
+	}
+}
+
+func TestFenceBuilderValidation(t *testing.T) {
+	d := NewDesign("v", 10, 10)
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("fence outside region", func() { d.AddFence(Rect{Lx: 5, Ly: 5, Hx: 15, Hy: 15}) })
+	c := d.AddCell("c", 1, 1, 5, 5, Movable)
+	mustPanic("unknown fence", func() { d.SetFence(c, 3) })
+	f := d.AddFence(Rect{Lx: 0, Ly: 0, Hx: 5, Hy: 5})
+	d.SetFence(c, f)
+	if r, ok := d.FenceOf(c); !ok || r.Hx != 5 {
+		t.Error("FenceOf wrong")
+	}
+	d.SetFence(c, -1)
+	if _, ok := d.FenceOf(c); ok {
+		t.Error("clearing fence failed")
+	}
+}

@@ -1,0 +1,135 @@
+package xplace
+
+import (
+	"fmt"
+	"time"
+
+	"xplace/internal/detail"
+	"xplace/internal/kernel"
+	"xplace/internal/legal"
+	"xplace/internal/placer"
+	"xplace/internal/router"
+)
+
+// LegalizerKind selects the legalization algorithm.
+type LegalizerKind int
+
+const (
+	// LegalizeTetris is the greedy interval legalizer (fast).
+	LegalizeTetris LegalizerKind = iota
+	// LegalizeAbacus is the row-clustering legalizer (better quality).
+	LegalizeAbacus
+)
+
+// DetailOptions configures detailed placement.
+type DetailOptions = detail.Options
+
+// FlowOptions configures the end-to-end flow: GP -> legalization ->
+// detailed placement -> optional routability scoring.
+type FlowOptions struct {
+	// Placement configures the GP engine (DefaultPlacement /
+	// BaselinePlacement / custom).
+	Placement PlacementOptions
+	// Legalizer selects the legalization algorithm.
+	Legalizer LegalizerKind
+	// Detail configures detailed placement. Set SkipDetail to omit the
+	// DP stage entirely.
+	Detail     DetailOptions
+	SkipDetail bool
+	// Route, when non-nil, runs the global router on the final placement
+	// (the Table 4 OVFL-5 metric).
+	Route *RouteOptions
+	// Workers / LaunchOverhead configure the kernel engine (see
+	// NewEngine). Ignored when Engine is set.
+	Workers        int
+	LaunchOverhead time.Duration
+	// Engine, when non-nil, is used as-is (its accounting is reset).
+	Engine *Engine
+}
+
+// FlowResult carries every stage's outcome.
+type FlowResult struct {
+	GP *PlacementResult
+	// Positions after each stage (cell centers, original design ids).
+	LegalX, LegalY []float64
+	FinalX, FinalY []float64
+	// HPWL after each stage.
+	HPWLGP, HPWLLegal, HPWLFinal float64
+	// Stage wall times. GPSim additionally includes the simulated
+	// kernel-launch cost (the "GP/s" column of Tables 2 and 4).
+	GPTime, LGTime, DPTime time.Duration
+	GPSim                  time.Duration
+	// Violations is the legality-violation count of the final placement
+	// (0 for a correct flow).
+	Violations int
+	// Route is the routability score (nil unless requested).
+	Route *RouteResult
+}
+
+// RunFlow executes the full placement flow on a design. The design's
+// stored positions are untouched; results are returned in the FlowResult.
+func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
+	e := opts.Engine
+	if e == nil {
+		e = kernel.New(kernel.Options{Workers: opts.Workers, LaunchOverhead: opts.LaunchOverhead})
+	}
+	p, err := placer.New(d, e, opts.Placement)
+	if err != nil {
+		return nil, err
+	}
+	res := &FlowResult{}
+	gp, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("xplace: global placement: %w", err)
+	}
+	res.GP = gp
+	res.GPTime = gp.WallTime
+	res.GPSim = gp.SimTime
+	res.HPWLGP = gp.HPWL
+
+	lgStart := time.Now()
+	var lx, ly []float64
+	switch opts.Legalizer {
+	case LegalizeAbacus:
+		lx, ly, err = legal.Abacus(d, gp.X, gp.Y)
+	default:
+		lx, ly, err = legal.Tetris(d, gp.X, gp.Y)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("xplace: legalization: %w", err)
+	}
+	res.LGTime = time.Since(lgStart)
+	res.LegalX, res.LegalY = lx, ly
+	res.HPWLLegal = d.HPWL(lx, ly)
+
+	res.FinalX, res.FinalY = lx, ly
+	if !opts.SkipDetail {
+		dpStart := time.Now()
+		res.FinalX, res.FinalY = detail.Run(d, lx, ly, opts.Detail)
+		res.DPTime = time.Since(dpStart)
+	}
+	res.HPWLFinal = d.HPWL(res.FinalX, res.FinalY)
+	res.Violations = len(legal.Check(d, res.FinalX, res.FinalY))
+
+	if opts.Route != nil {
+		res.Route = router.Route(d, res.FinalX, res.FinalY, *opts.Route)
+	}
+	return res, nil
+}
+
+// Legalize runs just the legalization stage.
+func Legalize(d *Design, x, y []float64, kind LegalizerKind) ([]float64, []float64, error) {
+	if kind == LegalizeAbacus {
+		return legal.Abacus(d, x, y)
+	}
+	return legal.Tetris(d, x, y)
+}
+
+// DetailedPlace runs just the detailed-placement stage on a legal
+// placement.
+func DetailedPlace(d *Design, x, y []float64, opts DetailOptions) ([]float64, []float64) {
+	return detail.Run(d, x, y, opts)
+}
+
+// CheckLegal returns the number of legality violations of a placement.
+func CheckLegal(d *Design, x, y []float64) int { return len(legal.Check(d, x, y)) }

@@ -1,0 +1,3 @@
+module xplace
+
+go 1.22

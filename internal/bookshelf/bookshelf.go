@@ -1,0 +1,416 @@
+// Package bookshelf reads and writes the GSRC Bookshelf placement format
+// [22] used by the ISPD 2005 contest benchmarks [19]: .aux (file index),
+// .nodes (cells), .nets (connectivity), .pl (positions), .scl (rows).
+//
+// Conventions honoured: .pl coordinates are LOWER-LEFT corners (converted
+// to the netlist package's center convention on the fly); .nets pin
+// offsets are measured from the cell center; "terminal" nodes are fixed.
+package bookshelf
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+// Files bundles the readers of one bookshelf design.
+type Files struct {
+	Nodes io.Reader
+	Nets  io.Reader
+	Pl    io.Reader
+	Scl   io.Reader // optional
+}
+
+// ReadAux parses a .aux file and opens the referenced files from the same
+// directory. The caller owns the returned design.
+func ReadAux(auxPath string) (*netlist.Design, error) {
+	data, err := os.ReadFile(auxPath)
+	if err != nil {
+		return nil, err
+	}
+	line := strings.TrimSpace(string(data))
+	if i := strings.Index(line, ":"); i >= 0 {
+		line = line[i+1:]
+	}
+	dir := filepath.Dir(auxPath)
+	var f Files
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	open := func(name string) (io.Reader, error) {
+		fh, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		closers = append(closers, fh)
+		return bufio.NewReader(fh), nil
+	}
+	for _, tok := range strings.Fields(line) {
+		var err error
+		switch filepath.Ext(tok) {
+		case ".nodes":
+			f.Nodes, err = open(tok)
+		case ".nets":
+			f.Nets, err = open(tok)
+		case ".pl":
+			f.Pl, err = open(tok)
+		case ".scl":
+			f.Scl, err = open(tok)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	name := strings.TrimSuffix(filepath.Base(auxPath), ".aux")
+	return Read(name, f)
+}
+
+// lineScanner yields non-empty, non-comment, non-header lines.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	line string
+	n    int
+}
+
+func newScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return &lineScanner{sc: sc}
+}
+
+func (s *lineScanner) next() bool {
+	for s.sc.Scan() {
+		s.n++
+		l := strings.TrimSpace(s.sc.Text())
+		if l == "" || strings.HasPrefix(l, "#") || strings.HasPrefix(l, "UCLA") {
+			continue
+		}
+		s.line = l
+		return true
+	}
+	return false
+}
+
+// keyVal parses "Key : value" headers; ok is false if the line is not of
+// that form.
+func keyVal(line string) (key, val string, ok bool) {
+	i := strings.Index(line, ":")
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+// Read parses a full design from the given readers. The Scl reader may be
+// nil; the region is then the bounding box of all cells.
+func Read(name string, f Files) (*netlist.Design, error) {
+	if f.Nodes == nil || f.Nets == nil || f.Pl == nil {
+		return nil, errors.New("bookshelf: nodes, nets and pl readers are required")
+	}
+	type node struct {
+		w, h     float64
+		terminal bool
+	}
+	names := []string{}
+	nodes := []node{}
+	index := map[string]int{}
+
+	sc := newScanner(f.Nodes)
+	for sc.next() {
+		if k, _, ok := keyVal(sc.line); ok && (k == "NumNodes" || k == "NumTerminals") {
+			continue
+		}
+		fields := strings.Fields(sc.line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("bookshelf: nodes line %d: %q", sc.n, sc.line)
+		}
+		w, err1 := strconv.ParseFloat(fields[1], 64)
+		h, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bookshelf: nodes line %d: bad size", sc.n)
+		}
+		nd := node{w: w, h: h}
+		if len(fields) > 3 && strings.EqualFold(fields[3], "terminal") {
+			nd.terminal = true
+		}
+		index[fields[0]] = len(nodes)
+		names = append(names, fields[0])
+		nodes = append(nodes, nd)
+	}
+
+	// Positions (.pl): lower-left corners; /FIXED marks fixed nodes.
+	xs := make([]float64, len(nodes))
+	ys := make([]float64, len(nodes))
+	fixed := make([]bool, len(nodes))
+	sc = newScanner(f.Pl)
+	for sc.next() {
+		fields := strings.Fields(sc.line)
+		if len(fields) < 3 {
+			continue
+		}
+		id, ok := index[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("bookshelf: pl line %d: unknown node %q", sc.n, fields[0])
+		}
+		x, err1 := strconv.ParseFloat(fields[1], 64)
+		y, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bookshelf: pl line %d: bad position", sc.n)
+		}
+		xs[id], ys[id] = x, y
+		if strings.Contains(sc.line, "/FIXED") {
+			fixed[id] = true
+		}
+	}
+
+	// Rows (.scl).
+	var rows []netlist.Row
+	region := geom.Rect{Lx: math.Inf(1), Ly: math.Inf(1), Hx: math.Inf(-1), Hy: math.Inf(-1)}
+	if f.Scl != nil {
+		sc = newScanner(f.Scl)
+		var cur netlist.Row
+		var numSites float64
+		inRow := false
+		for sc.next() {
+			switch {
+			case strings.HasPrefix(sc.line, "CoreRow"):
+				cur = netlist.Row{SiteWidth: 1}
+				numSites = 0
+				inRow = true
+			case strings.HasPrefix(sc.line, "End"):
+				if inRow {
+					cur.X1 = cur.X0 + numSites*cur.SiteWidth
+					rows = append(rows, cur)
+					inRow = false
+				}
+			default:
+				if !inRow {
+					continue
+				}
+				// A row body line may hold several "Key : value" pairs
+				// (e.g. "SubrowOrigin : 0 NumSites : 100").
+				fields := strings.Fields(sc.line)
+				for i := 0; i+2 < len(fields); i++ {
+					if fields[i+1] != ":" {
+						continue
+					}
+					v, err := strconv.ParseFloat(fields[i+2], 64)
+					if err != nil {
+						continue
+					}
+					switch fields[i] {
+					case "Coordinate":
+						cur.Y = v
+					case "Height":
+						cur.Height = v
+					case "Sitewidth":
+						cur.SiteWidth = v
+					case "SubrowOrigin":
+						cur.X0 = v
+					case "NumSites":
+						numSites = v
+					}
+				}
+			}
+		}
+		for _, r := range rows {
+			region = region.Union(geom.Rect{Lx: r.X0, Ly: r.Y, Hx: r.X1, Hy: r.Y + r.Height})
+		}
+	}
+	if region.Empty() || math.IsInf(region.Lx, 1) {
+		// No rows: bounding box of all placed cells.
+		for i := range nodes {
+			region = region.Union(geom.Rect{
+				Lx: xs[i], Ly: ys[i], Hx: xs[i] + nodes[i].w, Hy: ys[i] + nodes[i].h,
+			})
+		}
+	}
+	if region.Empty() {
+		return nil, errors.New("bookshelf: cannot determine placement region")
+	}
+
+	d := netlist.NewDesign(name, region)
+	d.Rows = rows
+	for i, nd := range nodes {
+		kind := netlist.Movable
+		if nd.terminal || fixed[i] {
+			kind = netlist.Fixed
+		}
+		// Lower-left -> center.
+		d.AddCell(names[i], nd.w, nd.h, xs[i]+nd.w/2, ys[i]+nd.h/2, kind)
+	}
+
+	// Nets.
+	sc = newScanner(f.Nets)
+	var pending int // pins left in the current net
+	for sc.next() {
+		if k, v, ok := keyVal(sc.line); ok && (k == "NumNets" || k == "NumPins") {
+			_ = v
+			continue
+		}
+		if strings.HasPrefix(sc.line, "NetDegree") {
+			_, v, _ := keyVal(sc.line)
+			fields := strings.Fields(v)
+			if len(fields) < 1 {
+				return nil, fmt.Errorf("bookshelf: nets line %d: bad NetDegree", sc.n)
+			}
+			deg, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("bookshelf: nets line %d: %v", sc.n, err)
+			}
+			netName := fmt.Sprintf("net%d", d.NumNets())
+			if len(fields) > 1 {
+				netName = fields[1]
+			}
+			d.AddNet(netName)
+			pending = deg
+			continue
+		}
+		if pending <= 0 {
+			return nil, fmt.Errorf("bookshelf: nets line %d: pin outside a net", sc.n)
+		}
+		// "nodename I : xoff yoff" (offsets optional).
+		fields := strings.Fields(sc.line)
+		id, ok := index[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("bookshelf: nets line %d: unknown node %q", sc.n, fields[0])
+		}
+		var ox, oy float64
+		if len(fields) >= 5 && fields[2] == ":" {
+			ox, _ = strconv.ParseFloat(fields[3], 64)
+			oy, _ = strconv.ParseFloat(fields[4], 64)
+		}
+		d.AddPin(id, ox, oy)
+		pending--
+	}
+
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Write emits the full design as bookshelf files (nodes, nets, pl, scl,
+// aux) into dir with the given base name. Positions written are the
+// design's stored centers, converted to lower-left.
+func Write(dir, base string, d *netlist.Design) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(ext string, fn func(w *bufio.Writer) error) error {
+		fh, err := os.Create(filepath.Join(dir, base+ext))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(fh)
+		if err := fn(w); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}
+	if err := write(".nodes", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA nodes 1.0")
+		terms := 0
+		for _, k := range d.CellKind {
+			if k == netlist.Fixed {
+				terms++
+			}
+		}
+		fmt.Fprintf(w, "NumNodes : %d\n", d.NumCells())
+		fmt.Fprintf(w, "NumTerminals : %d\n", terms)
+		for c := 0; c < d.NumCells(); c++ {
+			if d.CellKind[c] == netlist.Fixed {
+				fmt.Fprintf(w, "%s %g %g terminal\n", d.CellName[c], d.CellW[c], d.CellH[c])
+			} else {
+				fmt.Fprintf(w, "%s %g %g\n", d.CellName[c], d.CellW[c], d.CellH[c])
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := write(".nets", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA nets 1.0")
+		fmt.Fprintf(w, "NumNets : %d\n", d.NumNets())
+		fmt.Fprintf(w, "NumPins : %d\n", d.NumPins())
+		for n := 0; n < d.NumNets(); n++ {
+			s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+			fmt.Fprintf(w, "NetDegree : %d %s\n", e-s, d.NetName[n])
+			for p := s; p < e; p++ {
+				fmt.Fprintf(w, "\t%s I : %g %g\n", d.CellName[d.PinCell[p]], d.PinOffX[p], d.PinOffY[p])
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := WritePl(filepath.Join(dir, base+".pl"), d, nil, nil); err != nil {
+		return err
+	}
+	if err := write(".scl", func(w *bufio.Writer) error {
+		fmt.Fprintln(w, "UCLA scl 1.0")
+		fmt.Fprintf(w, "NumRows : %d\n", len(d.Rows))
+		for _, r := range d.Rows {
+			fmt.Fprintln(w, "CoreRow Horizontal")
+			fmt.Fprintf(w, "  Coordinate : %g\n", r.Y)
+			fmt.Fprintf(w, "  Height : %g\n", r.Height)
+			fmt.Fprintf(w, "  Sitewidth : %g\n", r.SiteWidth)
+			fmt.Fprintf(w, "  Sitespacing : %g\n", r.SiteWidth)
+			fmt.Fprintf(w, "  SubrowOrigin : %g NumSites : %d\n", r.X0, int((r.X1-r.X0)/r.SiteWidth))
+			fmt.Fprintln(w, "End")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return write(".aux", func(w *bufio.Writer) error {
+		fmt.Fprintf(w, "RowBasedPlacement : %s.nodes %s.nets %s.pl %s.scl\n", base, base, base, base)
+		return nil
+	})
+}
+
+// WritePl writes a .pl file with the given center positions (nil means
+// the design's stored positions), converted to lower-left corners.
+func WritePl(path string, d *netlist.Design, x, y []float64) error {
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(fh)
+	fmt.Fprintln(w, "UCLA pl 1.0")
+	for c := 0; c < d.NumCells(); c++ {
+		suffix := ""
+		if d.CellKind[c] == netlist.Fixed {
+			suffix = " /FIXED"
+		}
+		fmt.Fprintf(w, "%s %g %g : N%s\n", d.CellName[c], x[c]-d.CellW[c]/2, y[c]-d.CellH[c]/2, suffix)
+	}
+	if err := w.Flush(); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -1,0 +1,229 @@
+package bookshelf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/netlist"
+)
+
+const tinyNodes = `UCLA nodes 1.0
+# comment
+NumNodes : 3
+NumTerminals : 1
+o1 2 4
+o2 4 4
+p0 1 1 terminal
+`
+
+const tinyNets = `UCLA nets 1.0
+NumNets : 2
+NumPins : 4
+NetDegree : 2 n0
+	o1 I : 0.5 -1
+	o2 O : 0 0
+NetDegree : 2 n1
+	o2 I : 0 0
+	p0 I : 0 0
+`
+
+const tinyPl = `UCLA pl 1.0
+o1 10 8 : N
+o2 20 8 : N
+p0 0 0 : N /FIXED
+`
+
+const tinyScl = `UCLA scl 1.0
+NumRows : 2
+CoreRow Horizontal
+  Coordinate : 0
+  Height : 4
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 40
+End
+CoreRow Horizontal
+  Coordinate : 4
+  Height : 4
+  Sitewidth : 1
+  Sitespacing : 1
+  SubrowOrigin : 0 NumSites : 40
+End
+`
+
+func readTiny(t *testing.T, withScl bool) *netlist.Design {
+	t.Helper()
+	f := Files{
+		Nodes: strings.NewReader(tinyNodes),
+		Nets:  strings.NewReader(tinyNets),
+		Pl:    strings.NewReader(tinyPl),
+	}
+	if withScl {
+		f.Scl = strings.NewReader(tinyScl)
+	}
+	d, err := Read("tiny", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestReadTiny(t *testing.T) {
+	d := readTiny(t, true)
+	if d.NumCells() != 3 || d.NumNets() != 2 || d.NumPins() != 4 {
+		t.Fatalf("counts %d/%d/%d", d.NumCells(), d.NumNets(), d.NumPins())
+	}
+	// o1: lower-left (10,8), size 2x4 -> center (11,10).
+	if d.CellX[0] != 11 || d.CellY[0] != 10 {
+		t.Errorf("o1 center = (%v,%v)", d.CellX[0], d.CellY[0])
+	}
+	if d.CellKind[2] != netlist.Fixed {
+		t.Error("terminal should be fixed")
+	}
+	if d.CellKind[0] != netlist.Movable {
+		t.Error("o1 should be movable")
+	}
+	// Pin offset of first pin.
+	if d.PinOffX[0] != 0.5 || d.PinOffY[0] != -1 {
+		t.Errorf("pin offset = (%v,%v)", d.PinOffX[0], d.PinOffY[0])
+	}
+	// Rows.
+	if len(d.Rows) != 2 {
+		t.Fatalf("rows = %d", len(d.Rows))
+	}
+	if d.Rows[1].Y != 4 || d.Rows[1].X1 != 40 || d.Rows[1].Height != 4 {
+		t.Errorf("row 1 = %+v", d.Rows[1])
+	}
+	// Region from rows: 0..40 x 0..8.
+	if d.Region.Hx != 40 || d.Region.Hy != 8 {
+		t.Errorf("region = %v", d.Region)
+	}
+}
+
+func TestReadWithoutSclUsesBBox(t *testing.T) {
+	d := readTiny(t, false)
+	if len(d.Rows) != 0 {
+		t.Fatal("unexpected rows")
+	}
+	// BBox over cells: x 0..24, y 0..12.
+	if d.Region.Hx != 24 || d.Region.Hy != 12 {
+		t.Errorf("region = %v", d.Region)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Missing reader.
+	if _, err := Read("x", Files{Nodes: strings.NewReader(tinyNodes)}); err == nil {
+		t.Error("want error for missing readers")
+	}
+	// Unknown node in pl.
+	f := Files{
+		Nodes: strings.NewReader(tinyNodes),
+		Nets:  strings.NewReader(tinyNets),
+		Pl:    strings.NewReader("UCLA pl 1.0\nmystery 0 0 : N\n"),
+	}
+	if _, err := Read("x", f); err == nil {
+		t.Error("want error for unknown node in .pl")
+	}
+	// Unknown node in nets.
+	f = Files{
+		Nodes: strings.NewReader(tinyNodes),
+		Nets:  strings.NewReader("UCLA nets 1.0\nNetDegree : 1 n\n\tghost I : 0 0\n"),
+		Pl:    strings.NewReader(tinyPl),
+	}
+	if _, err := Read("x", f); err == nil {
+		t.Error("want error for unknown node in .nets")
+	}
+	// Pin outside a net.
+	f = Files{
+		Nodes: strings.NewReader(tinyNodes),
+		Nets:  strings.NewReader("UCLA nets 1.0\n\to1 I : 0 0\n"),
+		Pl:    strings.NewReader(tinyPl),
+	}
+	if _, err := Read("x", f); err == nil {
+		t.Error("want error for stray pin")
+	}
+}
+
+// Round-trip property: Write then ReadAux reproduces the design.
+func TestWriteReadRoundTrip(t *testing.T) {
+	spec, _ := benchgen.FindSpec("fft_1")
+	d := benchgen.Generate(spec, 0.01, 3)
+	dir := t.TempDir()
+	if err := Write(dir, "fft_1", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAux(filepath.Join(dir, "fft_1.aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCells() != d.NumCells() || got.NumNets() != d.NumNets() || got.NumPins() != d.NumPins() {
+		t.Fatalf("counts differ: %d/%d/%d vs %d/%d/%d",
+			got.NumCells(), got.NumNets(), got.NumPins(),
+			d.NumCells(), d.NumNets(), d.NumPins())
+	}
+	for c := 0; c < d.NumCells(); c++ {
+		if got.CellName[c] != d.CellName[c] || got.CellKind[c] != d.CellKind[c] {
+			t.Fatalf("cell %d identity differs", c)
+		}
+		if math.Abs(got.CellX[c]-d.CellX[c]) > 1e-9 || math.Abs(got.CellY[c]-d.CellY[c]) > 1e-9 {
+			t.Fatalf("cell %d position differs: (%v,%v) vs (%v,%v)",
+				c, got.CellX[c], got.CellY[c], d.CellX[c], d.CellY[c])
+		}
+	}
+	for p := 0; p < d.NumPins(); p++ {
+		if got.PinCell[p] != d.PinCell[p] ||
+			math.Abs(got.PinOffX[p]-d.PinOffX[p]) > 1e-9 ||
+			math.Abs(got.PinOffY[p]-d.PinOffY[p]) > 1e-9 {
+			t.Fatalf("pin %d differs", p)
+		}
+	}
+	if len(got.Rows) != len(d.Rows) {
+		t.Fatalf("rows differ: %d vs %d", len(got.Rows), len(d.Rows))
+	}
+	// HPWL identical.
+	if a, b := got.HPWL(nil, nil), d.HPWL(nil, nil); math.Abs(a-b) > 1e-6 {
+		t.Errorf("HPWL differs: %v vs %v", a, b)
+	}
+}
+
+func TestWritePlWithOverridePositions(t *testing.T) {
+	d := readTiny(t, true)
+	x := append([]float64(nil), d.CellX...)
+	y := append([]float64(nil), d.CellY...)
+	x[0] = 15 // center
+	path := filepath.Join(t.TempDir(), "out.pl")
+	if err := WritePl(path, d, x, y); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, "o1 14 8 : N") { // center 15 - w/2=1 -> lower-left 14
+		t.Errorf("pl content:\n%s", s)
+	}
+	if !strings.Contains(s, "/FIXED") {
+		t.Error("fixed suffix missing")
+	}
+}
+
+func TestReadAuxMissingFile(t *testing.T) {
+	if _, err := ReadAux(filepath.Join(t.TempDir(), "nope.aux")); err == nil {
+		t.Error("want error for missing aux")
+	}
+	// Aux referencing missing files.
+	dir := t.TempDir()
+	aux := filepath.Join(dir, "x.aux")
+	if err := os.WriteFile(aux, []byte("RowBasedPlacement : x.nodes x.nets x.pl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAux(aux); err == nil {
+		t.Error("want error for missing referenced files")
+	}
+}

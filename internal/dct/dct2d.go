@@ -1,0 +1,173 @@
+package dct
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan holds precomputed state for 2-D transforms on an Nx x Ny grid
+// (row-major indexing: f[y*Nx+x]). Both dimensions must be powers of two.
+// A Plan is safe for concurrent use once created.
+type Plan struct {
+	Nx, Ny int
+	rowFFT *fftPlan // length 2*Nx
+	colFFT *fftPlan // length 2*Ny
+}
+
+// NewPlan creates a transform plan for an Nx x Ny grid.
+func NewPlan(nx, ny int) *Plan {
+	if nx <= 0 || ny <= 0 || nx&(nx-1) != 0 || ny&(ny-1) != 0 {
+		panic(fmt.Sprintf("dct: grid %dx%d must be powers of two", nx, ny))
+	}
+	return &Plan{Nx: nx, Ny: ny, rowFFT: newFFTPlan(2 * nx), colFFT: newFFTPlan(2 * ny)}
+}
+
+func (p *Plan) checkSize(buf []float64, what string) {
+	if len(buf) != p.Nx*p.Ny {
+		panic(fmt.Sprintf("dct: %s has %d elements, want %d", what, len(buf), p.Nx*p.Ny))
+	}
+}
+
+// dctIIRow computes the unnormalized 1-D DCT-II of src into dst using the
+// mirrored length-2N FFT identity. scratch must have length 2N.
+func dctIIRow(src, dst []float64, fp *fftPlan, scratch []complex128, cosHalf, sinHalf []float64) {
+	n := len(src)
+	for i := 0; i < n; i++ {
+		scratch[i] = complex(src[i], 0)
+		scratch[2*n-1-i] = complex(src[i], 0)
+	}
+	fp.transform(scratch, false)
+	// X_k = 0.5 * Re(e^{-i*pi*k/(2N)} * Y_k)
+	for k := 0; k < n; k++ {
+		re := real(scratch[k])*cosHalf[k] + imag(scratch[k])*sinHalf[k]
+		dst[k] = 0.5 * re
+	}
+}
+
+// evalRow evaluates f_n = sum_u c_u * e^{i*pi*u*(2n+1)/(2N)} for n=0..N-1
+// via one inverse-DFT of length 2N; the cosine series is the real part and
+// the sine series the imaginary part. wantSin selects which lands in dst.
+func evalRow(coef, dst []float64, fp *fftPlan, scratch []complex128, cosHalf, sinHalf []float64, wantSin bool) {
+	n := len(coef)
+	for u := 0; u < n; u++ {
+		// w_u = c_u * e^{i*pi*u/(2N)}
+		scratch[u] = complex(coef[u]*cosHalf[u], coef[u]*sinHalf[u])
+	}
+	for u := n; u < 2*n; u++ {
+		scratch[u] = 0
+	}
+	fp.transform(scratch, true) // unnormalized inverse: sum_u w_u e^{+2pi i u n / 2N}
+	if wantSin {
+		for i := 0; i < n; i++ {
+			dst[i] = imag(scratch[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			dst[i] = real(scratch[i])
+		}
+	}
+}
+
+// halfTwiddles returns cos/sin of pi*k/(2N) for k = 0..N-1.
+func halfTwiddles(n int) (cosH, sinH []float64) {
+	cosH = make([]float64, n)
+	sinH = make([]float64, n)
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / float64(2*n)
+		cosH[k] = math.Cos(ang)
+		sinH[k] = math.Sin(ang)
+	}
+	return
+}
+
+// DCT2 computes the unnormalized 2-D DCT-II of src into dst:
+// dst[v][u] = sum_{y,x} src[y][x] cos(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
+// src and dst may alias.
+func (p *Plan) DCT2(src, dst []float64, L Launcher) {
+	p.checkSize(src, "src")
+	p.checkSize(dst, "dst")
+	if L == nil {
+		L = Serial
+	}
+	nx, ny := p.Nx, p.Ny
+	cosHx, sinHx := halfTwiddles(nx)
+	cosHy, sinHy := halfTwiddles(ny)
+	// negate sin for forward (e^{-i pi k/2N}): re = Re*cos + Im*sin handled
+	// in dctIIRow with positive sin, matching e^{-i t}: Re(e^{-it} Y) =
+	// cos(t)*Re(Y) + sin(t)*Im(Y). So pass sinH as is.
+	tmp := make([]float64, nx*ny)
+	// Rows.
+	L.Launch("dct2.rows", ny, func(lo, hi int) {
+		scratch := make([]complex128, 2*nx)
+		for y := lo; y < hi; y++ {
+			dctIIRow(src[y*nx:(y+1)*nx], tmp[y*nx:(y+1)*nx], p.rowFFT, scratch, cosHx, sinHx)
+		}
+	})
+	// Columns.
+	L.Launch("dct2.cols", nx, func(lo, hi int) {
+		scratch := make([]complex128, 2*ny)
+		col := make([]float64, ny)
+		out := make([]float64, ny)
+		for x := lo; x < hi; x++ {
+			for y := 0; y < ny; y++ {
+				col[y] = tmp[y*nx+x]
+			}
+			dctIIRow(col, out, p.colFFT, scratch, cosHy, sinHy)
+			for y := 0; y < ny; y++ {
+				dst[y*nx+x] = out[y]
+			}
+		}
+	})
+}
+
+// eval2D is the shared implementation of the three evaluation transforms.
+func (p *Plan) eval2D(coef, dst []float64, L Launcher, sinX, sinY bool, name string) {
+	p.checkSize(coef, "coef")
+	p.checkSize(dst, "dst")
+	if L == nil {
+		L = Serial
+	}
+	nx, ny := p.Nx, p.Ny
+	cosHx, sinHx := halfTwiddles(nx)
+	cosHy, sinHy := halfTwiddles(ny)
+	tmp := make([]float64, nx*ny)
+	// Evaluate along x (rows of the coefficient matrix: index u).
+	L.Launch(name+".rows", ny, func(lo, hi int) {
+		scratch := make([]complex128, 2*nx)
+		for v := lo; v < hi; v++ {
+			evalRow(coef[v*nx:(v+1)*nx], tmp[v*nx:(v+1)*nx], p.rowFFT, scratch, cosHx, sinHx, sinX)
+		}
+	})
+	// Evaluate along y (columns: index v).
+	L.Launch(name+".cols", nx, func(lo, hi int) {
+		scratch := make([]complex128, 2*ny)
+		col := make([]float64, ny)
+		out := make([]float64, ny)
+		for x := lo; x < hi; x++ {
+			for v := 0; v < ny; v++ {
+				col[v] = tmp[v*nx+x]
+			}
+			evalRow(col, out, p.colFFT, scratch, cosHy, sinHy, sinY)
+			for y := 0; y < ny; y++ {
+				dst[y*nx+x] = out[y]
+			}
+		}
+	})
+}
+
+// EvalCosCos evaluates the cos-cos series (inverse DCT direction):
+// dst[y][x] = sum_{v,u} coef[v][u] cos(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
+func (p *Plan) EvalCosCos(coef, dst []float64, L Launcher) {
+	p.eval2D(coef, dst, L, false, false, "idct2")
+}
+
+// EvalSinCos evaluates the sin-in-x, cos-in-y series (the x electric field):
+// dst[y][x] = sum_{v,u} coef[v][u] sin(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
+func (p *Plan) EvalSinCos(coef, dst []float64, L Launcher) {
+	p.eval2D(coef, dst, L, true, false, "idsct2")
+}
+
+// EvalCosSin evaluates the cos-in-x, sin-in-y series (the y electric field).
+func (p *Plan) EvalCosSin(coef, dst []float64, L Launcher) {
+	p.eval2D(coef, dst, L, false, true, "idcst2")
+}

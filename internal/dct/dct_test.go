@@ -1,0 +1,279 @@
+package dct
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// directDFT is the O(N^2) reference DFT.
+func directDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		want := directDFT(x, false)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		buf := append([]complex128(nil), x...)
+		FFT(buf)
+		IFFT(buf)
+		for i := range buf {
+			got := buf[i] / complex(float64(n), 0)
+			if cmplx.Abs(got-x[i]) > 1e-9 {
+				t.Fatalf("n=%d roundtrip[%d] = %v, want %v", n, i, got, x[i])
+			}
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	FFT(make([]complex128, 3))
+}
+
+// directDCT2 is the O(N^4) reference for the 2-D DCT-II.
+func directDCT2(f []float64, nx, ny int) []float64 {
+	out := make([]float64, nx*ny)
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			var s float64
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					s += f[y*nx+x] *
+						math.Cos(math.Pi*float64(u)*(2*float64(x)+1)/(2*float64(nx))) *
+						math.Cos(math.Pi*float64(v)*(2*float64(y)+1)/(2*float64(ny)))
+				}
+			}
+			out[v*nx+u] = s
+		}
+	}
+	return out
+}
+
+// directEval is the O(N^4) reference for the evaluation transforms.
+func directEval(c []float64, nx, ny int, sinX, sinY bool) []float64 {
+	out := make([]float64, nx*ny)
+	bx := func(u, x int) float64 {
+		ang := math.Pi * float64(u) * (2*float64(x) + 1) / (2 * float64(nx))
+		if sinX {
+			return math.Sin(ang)
+		}
+		return math.Cos(ang)
+	}
+	by := func(v, y int) float64 {
+		ang := math.Pi * float64(v) * (2*float64(y) + 1) / (2 * float64(ny))
+		if sinY {
+			return math.Sin(ang)
+		}
+		return math.Cos(ang)
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			var s float64
+			for v := 0; v < ny; v++ {
+				for u := 0; u < nx; u++ {
+					s += c[v*nx+u] * bx(u, x) * by(v, y)
+				}
+			}
+			out[y*nx+x] = s
+		}
+	}
+	return out
+}
+
+func randGrid(nx, ny int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, nx*ny)
+	for i := range f {
+		f[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestDCT2MatchesDirect(t *testing.T) {
+	for _, dims := range [][2]int{{4, 4}, {8, 4}, {4, 8}, {16, 16}} {
+		nx, ny := dims[0], dims[1]
+		f := randGrid(nx, ny, 7)
+		p := NewPlan(nx, ny)
+		got := make([]float64, nx*ny)
+		p.DCT2(f, got, Serial)
+		want := directDCT2(f, nx, ny)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Errorf("%dx%d DCT2 max diff %g", nx, ny, d)
+		}
+	}
+}
+
+func TestEvalTransformsMatchDirect(t *testing.T) {
+	nx, ny := 8, 16
+	c := randGrid(nx, ny, 9)
+	p := NewPlan(nx, ny)
+	got := make([]float64, nx*ny)
+
+	p.EvalCosCos(c, got, Serial)
+	if d := maxAbsDiff(got, directEval(c, nx, ny, false, false)); d > 1e-9 {
+		t.Errorf("EvalCosCos max diff %g", d)
+	}
+	p.EvalSinCos(c, got, Serial)
+	if d := maxAbsDiff(got, directEval(c, nx, ny, true, false)); d > 1e-9 {
+		t.Errorf("EvalSinCos max diff %g", d)
+	}
+	p.EvalCosSin(c, got, Serial)
+	if d := maxAbsDiff(got, directEval(c, nx, ny, false, true)); d > 1e-9 {
+		t.Errorf("EvalCosSin max diff %g", d)
+	}
+}
+
+// Property: DCT2 then properly normalized EvalCosCos reconstructs the input
+// (DCT-II / DCT-III orthogonality).
+func TestDCTRoundTrip(t *testing.T) {
+	for _, dims := range [][2]int{{8, 8}, {32, 16}, {64, 64}} {
+		nx, ny := dims[0], dims[1]
+		f := randGrid(nx, ny, 11)
+		p := NewPlan(nx, ny)
+		coef := make([]float64, nx*ny)
+		p.DCT2(f, coef, Serial)
+		// Normalize: weight 1/N for index 0, 2/N otherwise, per dimension.
+		for v := 0; v < ny; v++ {
+			wv := 2 / float64(ny)
+			if v == 0 {
+				wv = 1 / float64(ny)
+			}
+			for u := 0; u < nx; u++ {
+				wu := 2 / float64(nx)
+				if u == 0 {
+					wu = 1 / float64(nx)
+				}
+				coef[v*nx+u] *= wu * wv
+			}
+		}
+		got := make([]float64, nx*ny)
+		p.EvalCosCos(coef, got, Serial)
+		if d := maxAbsDiff(got, f); d > 1e-9 {
+			t.Errorf("%dx%d roundtrip max diff %g", nx, ny, d)
+		}
+	}
+}
+
+func TestDCT2InPlaceAliasing(t *testing.T) {
+	nx, ny := 16, 16
+	f := randGrid(nx, ny, 13)
+	want := make([]float64, nx*ny)
+	p := NewPlan(nx, ny)
+	p.DCT2(f, want, Serial)
+	// Alias src and dst.
+	buf := append([]float64(nil), f...)
+	p.DCT2(buf, buf, Serial)
+	if d := maxAbsDiff(buf, want); d > 1e-12 {
+		t.Errorf("aliased DCT2 differs by %g", d)
+	}
+}
+
+func TestPlanPanicsOnBadSizes(t *testing.T) {
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {3, 4}, {4, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPlan(%d,%d) should panic", dims[0], dims[1])
+				}
+			}()
+			NewPlan(dims[0], dims[1])
+		}()
+	}
+	p := NewPlan(4, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("size mismatch should panic")
+			}
+		}()
+		p.DCT2(make([]float64, 5), make([]float64, 16), Serial)
+	}()
+}
+
+func TestNilLauncherDefaultsToSerial(t *testing.T) {
+	nx, ny := 8, 8
+	f := randGrid(nx, ny, 17)
+	p := NewPlan(nx, ny)
+	a := make([]float64, nx*ny)
+	b := make([]float64, nx*ny)
+	p.DCT2(f, a, nil)
+	p.DCT2(f, b, Serial)
+	if d := maxAbsDiff(a, b); d != 0 {
+		t.Errorf("nil launcher differs by %g", d)
+	}
+}
+
+func BenchmarkDCT2_256(b *testing.B) {
+	nx, ny := 256, 256
+	f := randGrid(nx, ny, 3)
+	out := make([]float64, nx*ny)
+	p := NewPlan(nx, ny)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DCT2(f, out, Serial)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(float64(i%7), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := append([]complex128(nil), x...)
+		FFT(buf)
+	}
+}

@@ -1,0 +1,325 @@
+// Package field implements the electrostatic density system of the placer
+// (Eq. 5, §3.1.2): cells are charges, the bin-wise density map is the
+// charge distribution rho, and Poisson's equation with Neumann boundary
+// conditions is solved spectrally (DCT) for the potential psi and the
+// electric field E = -grad(psi). The field, gathered back onto cells,
+// is the density gradient of the objective.
+//
+// The package exposes the individual operators (density scatter, map add,
+// Poisson solve, field gather, overflow ratio) so the placer can compose
+// them either with the paper's operator extraction (compute the cell
+// density map D once, reuse it for the total map D~ = D + D_fl and for
+// OVFL) or naively (recompute D for OVFL), which is the OE ablation.
+//
+// Internally the electrostatic system lives in bin units (the region maps
+// to [0,Nx) x [0,Ny)); GatherField converts gradients back to design units.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"xplace/internal/dct"
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+// KindMask selects which cell kinds participate in a scatter.
+type KindMask uint8
+
+// Kind masks for ScatterDensity.
+const (
+	MaskMovable KindMask = 1 << netlist.Movable
+	MaskFixed   KindMask = 1 << netlist.Fixed
+	MaskFiller  KindMask = 1 << netlist.Filler
+	// MaskPlaceable covers everything the electrostatic system moves.
+	MaskPlaceable = MaskMovable | MaskFiller
+	// MaskAll covers every cell.
+	MaskAll = MaskMovable | MaskFixed | MaskFiller
+)
+
+// Has reports whether kind k is selected.
+func (m KindMask) Has(k netlist.CellKind) bool { return m&(1<<k) != 0 }
+
+// System holds the grid, spectral plan and all bin-sized buffers of the
+// electrostatic model. Create one per (design, grid) pair and reuse it
+// every iteration; all buffers are preallocated.
+type System struct {
+	Grid geom.Grid
+	Nx   int
+	Ny   int
+
+	// Density maps (bin-major, f[y*Nx+x]), in occupancy units (area
+	// covered / bin area).
+	D     []float64 // movable + fixed cell density (Eq. 8)
+	Dfl   []float64 // filler density D_fl
+	Total []float64 // D~ = D + D_fl (Eq. 10)
+
+	// Electrostatic solution for Total.
+	Psi []float64 // potential
+	Ex  []float64 // field x = -dPsi/dx (bin units)
+	Ey  []float64 // field y
+
+	plan    *dct.Plan
+	coef    []float64 // DCT coefficients scratch
+	coefE   []float64 // field coefficient scratch
+	wu, wv  []float64 // frequencies pi*u/Nx, pi*v/Ny
+	scratch [][]float64
+	workers int
+}
+
+// NewSystem creates an electrostatic system on grid with per-worker
+// scatter buffers for engine e. Grid dimensions must be powers of two.
+func NewSystem(grid geom.Grid, e *kernel.Engine) *System {
+	nx, ny := grid.Nx, grid.Ny
+	s := &System{
+		Grid:    grid,
+		Nx:      nx,
+		Ny:      ny,
+		D:       make([]float64, nx*ny),
+		Dfl:     make([]float64, nx*ny),
+		Total:   make([]float64, nx*ny),
+		Psi:     make([]float64, nx*ny),
+		Ex:      make([]float64, nx*ny),
+		Ey:      make([]float64, nx*ny),
+		plan:    dct.NewPlan(nx, ny),
+		coef:    make([]float64, nx*ny),
+		coefE:   make([]float64, nx*ny),
+		wu:      make([]float64, nx),
+		wv:      make([]float64, ny),
+		workers: e.Workers(),
+	}
+	for u := 0; u < nx; u++ {
+		s.wu[u] = math.Pi * float64(u) / float64(nx)
+	}
+	for v := 0; v < ny; v++ {
+		s.wv[v] = math.Pi * float64(v) / float64(ny)
+	}
+	s.scratch = make([][]float64, s.workers)
+	for w := range s.scratch {
+		s.scratch[w] = make([]float64, nx*ny)
+	}
+	return s
+}
+
+// expandedRect returns cell c's footprint (centered at x,y) expanded to at
+// least one bin in each dimension — the ePlace local smoothing — together
+// with the density scale that preserves its area.
+func (s *System) expandedRect(d *netlist.Design, c int, x, y float64) (geom.Rect, float64) {
+	w, h := d.CellW[c], d.CellH[c]
+	ew, eh := w, h
+	if ew < s.Grid.Dx {
+		ew = s.Grid.Dx
+	}
+	if eh < s.Grid.Dy {
+		eh = s.Grid.Dy
+	}
+	scale := 1.0
+	if ew != w || eh != h {
+		scale = (w * h) / (ew * eh)
+	}
+	return geom.Rect{Lx: x - ew/2, Ly: y - eh/2, Hx: x + ew/2, Hy: y + eh/2}, scale
+}
+
+// ScatterDensity accumulates the density of all cells selected by mask
+// into out (occupancy units). One kernel for the parallel scatter into
+// per-worker private maps plus one merge kernel — the atomics-free
+// accumulation the design doc calls out.
+func (s *System) ScatterDensity(e *kernel.Engine, d *netlist.Design, x, y []float64, mask KindMask, out []float64, name string) {
+	if len(out) != s.Nx*s.Ny {
+		panic(fmt.Sprintf("field: out has %d bins, want %d", len(out), s.Nx*s.Ny))
+	}
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	used := e.LaunchChunks(name, d.NumCells(), func(w, lo, hi int) {
+		buf := s.scratch[w]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for c := lo; c < hi; c++ {
+			if !mask.Has(d.CellKind[c]) {
+				continue
+			}
+			r, scale := s.expandedRect(d, c, x[c], y[c])
+			r = r.Intersect(s.Grid.Region)
+			if r.Empty() {
+				continue
+			}
+			x0, x1, y0, y1 := s.Grid.BinRange(r)
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					ov := s.Grid.BinRect(ix, iy).Overlap(r)
+					if ov > 0 {
+						buf[iy*s.Nx+ix] += ov * scale
+					}
+				}
+			}
+		}
+	})
+	invBinArea := 1 / s.Grid.BinArea()
+	e.Launch(name+".merge", s.Nx*s.Ny, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var sum float64
+			for w := 0; w < used; w++ {
+				sum += s.scratch[w][b]
+			}
+			out[b] = sum * invBinArea
+		}
+	})
+}
+
+// AddMaps computes dst = a + b elementwise as one (cheap) kernel — the
+// extracted total-map addition of Eq. 10 / Figure 2(a).
+func (s *System) AddMaps(e *kernel.Engine, a, b, dst []float64) {
+	e.Launch("density.add_maps", len(dst), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + b[i]
+		}
+	})
+}
+
+// SolvePoisson solves Eq. 5 for s.Total: forward DCT, spectral division by
+// (wu^2 + wv^2), and the three inverse evaluations for potential and both
+// field components. Returns the system energy 0.5 * sum(rho * psi) — the
+// density penalty D(p) of Eq. 3.
+func (s *System) SolvePoisson(e *kernel.Engine) float64 {
+	nx, ny := s.Nx, s.Ny
+	s.plan.DCT2(s.Total, s.coef, e)
+	// Normalize to true series coefficients and divide by (wu^2+wv^2).
+	e.Launch("poisson.spectral_scale", ny, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fv := 2 / float64(ny)
+			if v == 0 {
+				fv = 1 / float64(ny)
+			}
+			wv2 := s.wv[v] * s.wv[v]
+			for u := 0; u < nx; u++ {
+				fu := 2 / float64(nx)
+				if u == 0 {
+					fu = 1 / float64(nx)
+				}
+				idx := v*nx + u
+				if u == 0 && v == 0 {
+					s.coef[idx] = 0
+					continue
+				}
+				s.coef[idx] *= fu * fv / (s.wu[u]*s.wu[u] + wv2)
+			}
+		}
+	})
+	// Potential.
+	s.plan.EvalCosCos(s.coef, s.Psi, e)
+	// Ex = -dPsi/dx = sum c*wu*sin(wu(x+1/2))cos(wv(y+1/2)).
+	e.Launch("poisson.ex_coef", ny, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for u := 0; u < nx; u++ {
+				s.coefE[v*nx+u] = s.coef[v*nx+u] * s.wu[u]
+			}
+		}
+	})
+	s.plan.EvalSinCos(s.coefE, s.Ex, e)
+	// Ey.
+	e.Launch("poisson.ey_coef", ny, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			wv := s.wv[v]
+			for u := 0; u < nx; u++ {
+				s.coefE[v*nx+u] = s.coef[v*nx+u] * wv
+			}
+		}
+	})
+	s.plan.EvalCosSin(s.coefE, s.Ey, e)
+	// Energy.
+	return e.ParallelReduce("poisson.energy", nx*ny, 0,
+		func(lo, hi int) float64 {
+			var sum float64
+			for i := lo; i < hi; i++ {
+				sum += s.Total[i] * s.Psi[i]
+			}
+			return sum
+		}, func(a, b float64) float64 { return a + b }) * 0.5
+}
+
+// GatherField writes the density gradient for every cell selected by mask
+// into gradX/gradY (design units, indexed by cell; unselected cells get
+// zero). The gradient of the energy with respect to a cell position is
+// -q*E averaged over the cell footprint; q is the cell area in bin units.
+func (s *System) GatherField(e *kernel.Engine, d *netlist.Design, x, y []float64, mask KindMask, gradX, gradY []float64) {
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	invBinArea := 1 / s.Grid.BinArea()
+	e.Launch("density.gather_field", d.NumCells(), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if !mask.Has(d.CellKind[c]) {
+				gradX[c], gradY[c] = 0, 0
+				continue
+			}
+			r, scale := s.expandedRect(d, c, x[c], y[c])
+			r = r.Intersect(s.Grid.Region)
+			if r.Empty() {
+				gradX[c], gradY[c] = 0, 0
+				continue
+			}
+			x0, x1, y0, y1 := s.Grid.BinRange(r)
+			var fx, fy float64
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					ov := s.Grid.BinRect(ix, iy).Overlap(r)
+					if ov <= 0 {
+						continue
+					}
+					q := ov * scale * invBinArea // charge share in bin units
+					fx += q * s.Ex[iy*s.Nx+ix]
+					fy += q * s.Ey[iy*s.Nx+ix]
+				}
+			}
+			// Energy gradient = -force; convert bin units -> design units.
+			gradX[c] = -fx / s.Grid.Dx
+			gradY[c] = -fy / s.Grid.Dy
+		}
+	})
+}
+
+// Overflow computes the overflow ratio OVFL of Eq. 7 from the cell density
+// map dens (occupancy units) as one kernel.
+func (s *System) Overflow(e *kernel.Engine, d *netlist.Design, dens []float64, targetDensity float64) float64 {
+	binArea := s.Grid.BinArea()
+	over := e.ParallelReduce("density.ovfl", len(dens), 0,
+		func(lo, hi int) float64 {
+			var sum float64
+			for b := lo; b < hi; b++ {
+				if ex := dens[b] - targetDensity; ex > 0 {
+					sum += ex * binArea
+				}
+			}
+			return sum
+		}, func(a, b float64) float64 { return a + b })
+	mov := d.MovableArea()
+	if mov <= 0 {
+		return 0
+	}
+	return over / mov
+}
+
+// MaxDensity returns the maximum bin occupancy of dens (one kernel) —
+// a diagnostic recorded by the evaluator.
+func (s *System) MaxDensity(e *kernel.Engine, dens []float64) float64 {
+	return e.ParallelReduce("density.max", len(dens), math.Inf(-1),
+		func(lo, hi int) float64 {
+			m := math.Inf(-1)
+			for b := lo; b < hi; b++ {
+				if dens[b] > m {
+					m = dens[b]
+				}
+			}
+			return m
+		}, math.Max)
+}

@@ -1,0 +1,355 @@
+// Package kernel provides the execution substrate that stands in for the
+// GPU in this reproduction. Every heavy placement operator runs through an
+// Engine as a named "kernel": the body is executed data-parallel over a
+// goroutine worker pool (the CUDA grid), and the Engine charges each launch
+// a configurable overhead on a simulated-time clock (the CUDA kernel-launch
+// latency the paper's §3.1.3 analysis is about).
+//
+// Two clocks are kept:
+//
+//   - Compute time: real wall time spent inside kernel bodies, i.e. the
+//     parallel execution time.
+//   - Simulated time: compute time plus Launches x LaunchOverhead. This is
+//     the quantity that reproduces the paper's per-iteration timing shape:
+//     fusing K operators into one kernel removes (K-1) launch overheads by
+//     construction, and skipping the autograd engine halves the launch
+//     count of small operators.
+//
+// The Engine can also record a launch trace (used by the Figure 2 operator
+// extraction experiment) and supports deferred synchronization points,
+// modelling the paper's reordering of sync-needing operators to the end of
+// each GP iteration.
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultLaunchOverhead is the simulated cost of one kernel launch. 6 us is
+// a typical CUDA launch latency on the hardware generation the paper used.
+const DefaultLaunchOverhead = 6 * time.Microsecond
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the degree of parallelism. 0 means runtime.NumCPU().
+	Workers int
+	// LaunchOverhead is the simulated per-launch cost added to the
+	// simulated clock. Negative means DefaultLaunchOverhead; zero disables
+	// the launch-cost model.
+	LaunchOverhead time.Duration
+	// Trace records the name of every launched kernel, retrievable with
+	// Engine.Trace. Intended for tests and the Figure 2 experiment, not
+	// for production runs.
+	Trace bool
+}
+
+// OpStats aggregates per-kernel-name accounting.
+type OpStats struct {
+	Launches int64
+	Compute  time.Duration
+}
+
+// Stats is a snapshot of an Engine's accounting.
+type Stats struct {
+	Launches  int64
+	Compute   time.Duration
+	Syncs     int64
+	PerOp     map[string]OpStats
+	Overhead  time.Duration // LaunchOverhead used
+	Simulated time.Duration // Compute + Launches*Overhead
+}
+
+// String renders a human-readable summary, most expensive ops first.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "launches=%d syncs=%d compute=%v simulated=%v\n",
+		s.Launches, s.Syncs, s.Compute, s.Simulated)
+	type row struct {
+		name string
+		st   OpStats
+	}
+	rows := make([]row, 0, len(s.PerOp))
+	for name, st := range s.PerOp {
+		rows = append(rows, row{name, st})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Compute > rows[j].st.Compute })
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-32s launches=%-8d compute=%v\n", r.name, r.st.Launches, r.st.Compute)
+	}
+	return b.String()
+}
+
+// Engine executes kernels. It is safe for concurrent use by the recorder
+// and evaluator goroutines, but kernels themselves are expected to be
+// launched from a single placement loop (as on a single CUDA stream).
+type Engine struct {
+	workers  int
+	overhead time.Duration
+	tracing  bool
+
+	mu       sync.Mutex
+	launches int64
+	compute  time.Duration
+	syncs    int64
+	perOp    map[string]*OpStats
+	trace    []string
+	deferred []deferredSync
+}
+
+type deferredSync struct {
+	name string
+	fn   func()
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	ov := opts.LaunchOverhead
+	if ov < 0 {
+		ov = DefaultLaunchOverhead
+	}
+	return &Engine{
+		workers:  w,
+		overhead: ov,
+		tracing:  opts.Trace,
+		perOp:    make(map[string]*OpStats),
+	}
+}
+
+// NewDefault returns an Engine with NumCPU workers and the default launch
+// overhead.
+func NewDefault() *Engine {
+	return New(Options{LaunchOverhead: DefaultLaunchOverhead})
+}
+
+// Workers returns the engine's degree of parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// LaunchOverhead returns the simulated per-launch cost.
+func (e *Engine) LaunchOverhead() time.Duration { return e.overhead }
+
+// minParallel is the smallest iteration count worth fanning out over the
+// worker pool; below it the launch runs on the calling goroutine (still
+// counted as one launch — a tiny CUDA kernel still pays its launch cost).
+const minParallel = 2048
+
+// Launch runs body over the index range [0, n) as one kernel named name.
+// The range is split into contiguous chunks, one per worker. Launch blocks
+// until the kernel completes (stream-ordered execution).
+func (e *Engine) Launch(name string, n int, body func(start, end int)) {
+	start := time.Now()
+	if n > 0 {
+		if n < minParallel || e.workers == 1 {
+			body(0, n)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + e.workers - 1) / e.workers
+			for w := 0; w < e.workers; w++ {
+				lo := w * chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					body(lo, hi)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+	}
+	e.account(name, time.Since(start))
+}
+
+// LaunchChunks runs body over [0, n) as one kernel, passing each worker its
+// chunk index so callers can keep private partial accumulators (the
+// paper's atomics-free reduction pattern). Chunk indices are in
+// [0, Workers()); with small n only chunk 0 runs. Returns the number of
+// chunks used.
+func (e *Engine) LaunchChunks(name string, n int, body func(chunk, start, end int)) int {
+	start := time.Now()
+	used := 0
+	if n > 0 {
+		if n < minParallel || e.workers == 1 {
+			body(0, 0, n)
+			used = 1
+		} else {
+			var wg sync.WaitGroup
+			chunk := (n + e.workers - 1) / e.workers
+			for w := 0; w < e.workers; w++ {
+				lo := w * chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				used++
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					body(w, lo, hi)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+		}
+	}
+	e.account(name, time.Since(start))
+	return used
+}
+
+// LaunchSerial runs body as one kernel on the calling goroutine. Use it for
+// operators whose body is inherently sequential (e.g. a scalar update); it
+// still costs one launch.
+func (e *Engine) LaunchSerial(name string, body func()) {
+	start := time.Now()
+	body()
+	e.account(name, time.Since(start))
+}
+
+// ParallelReduce runs body over [0, n) with one private accumulator per
+// worker and folds the partials with combine, all as a single kernel. The
+// body receives its worker-local partial index so callers can maintain
+// private state (the paper's atomics-free density accumulation).
+func (e *Engine) ParallelReduce(name string, n int, init float64,
+	body func(start, end int) float64, combine func(a, b float64) float64) float64 {
+	start := time.Now()
+	result := init
+	if n > 0 {
+		if n < minParallel || e.workers == 1 {
+			result = combine(result, body(0, n))
+		} else {
+			partials := make([]float64, e.workers)
+			used := 0
+			var wg sync.WaitGroup
+			chunk := (n + e.workers - 1) / e.workers
+			for w := 0; w < e.workers; w++ {
+				lo := w * chunk
+				if lo >= n {
+					break
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				wg.Add(1)
+				used++
+				go func(w, lo, hi int) {
+					defer wg.Done()
+					partials[w] = body(lo, hi)
+				}(w, lo, hi)
+			}
+			wg.Wait()
+			for w := 0; w < used; w++ {
+				result = combine(result, partials[w])
+			}
+		}
+	}
+	e.account(name, time.Since(start))
+	return result
+}
+
+// DeferSync enqueues an operation that requires host-device
+// synchronization (e.g. copying a scalar metric back to the host). The
+// paper reorders such operators to the end of each GP iteration; Flush
+// executes them in FIFO order.
+func (e *Engine) DeferSync(name string, fn func()) {
+	e.mu.Lock()
+	e.deferred = append(e.deferred, deferredSync{name, fn})
+	e.mu.Unlock()
+}
+
+// Flush runs all deferred synchronization operations (one sync point for
+// the whole batch) and clears the queue.
+func (e *Engine) Flush() {
+	e.mu.Lock()
+	pending := e.deferred
+	e.deferred = nil
+	e.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	for _, d := range pending {
+		start := time.Now()
+		d.fn()
+		e.account(d.name, time.Since(start))
+	}
+	e.mu.Lock()
+	e.syncs++
+	e.mu.Unlock()
+}
+
+// Sync records an immediate host-device synchronization point (the
+// un-reordered path used by the baseline).
+func (e *Engine) Sync() {
+	e.mu.Lock()
+	e.syncs++
+	e.mu.Unlock()
+}
+
+func (e *Engine) account(name string, d time.Duration) {
+	e.mu.Lock()
+	e.launches++
+	e.compute += d
+	st := e.perOp[name]
+	if st == nil {
+		st = &OpStats{}
+		e.perOp[name] = st
+	}
+	st.Launches++
+	st.Compute += d
+	if e.tracing {
+		e.trace = append(e.trace, name)
+	}
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accounting since the last Reset.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	per := make(map[string]OpStats, len(e.perOp))
+	for k, v := range e.perOp {
+		per[k] = *v
+	}
+	return Stats{
+		Launches:  e.launches,
+		Compute:   e.compute,
+		Syncs:     e.syncs,
+		PerOp:     per,
+		Overhead:  e.overhead,
+		Simulated: e.compute + time.Duration(e.launches)*e.overhead,
+	}
+}
+
+// Trace returns a copy of the launch trace (empty unless Options.Trace).
+func (e *Engine) Trace() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.trace))
+	copy(out, e.trace)
+	return out
+}
+
+// Reset clears all accounting and the trace; deferred syncs are discarded.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.launches, e.compute, e.syncs = 0, 0, 0
+	e.perOp = make(map[string]*OpStats)
+	e.trace = nil
+	e.deferred = nil
+	e.mu.Unlock()
+}

@@ -1,0 +1,478 @@
+// Package lefdef reads a pragmatic subset of LEF/DEF — the format of the
+// ISPD 2015 contest benchmarks [20] — sufficient for placement: LEF MACRO
+// geometry (SIZE, PIN PORT RECTs), DEF DIEAREA, ROWs, COMPONENTS
+// (PLACED/FIXED), IO PINS and NETS. Fence regions and routing blockages,
+// which the paper removes from the ISPD 2015 runs, are skipped on read.
+//
+// Coordinates follow each format's conventions (component origins are
+// lower-left corners; LEF pin rectangles are macro-origin relative) and
+// are converted to the netlist package's cell-center convention.
+package lefdef
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+// PinDef is a macro pin with its offset from the MACRO's lower-left
+// corner (the center of its first PORT RECT).
+type PinDef struct {
+	Name string
+	X, Y float64
+}
+
+// Macro is one LEF cell master.
+type Macro struct {
+	Name string
+	W, H float64
+	Pins map[string]PinDef
+}
+
+// Library is a parsed LEF technology/cell library.
+type Library struct {
+	Macros map[string]Macro
+}
+
+// tokens splits a LEF/DEF stream into whitespace tokens, dropping
+// comments (# to end of line).
+func tokens(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		out = append(out, strings.Fields(line)...)
+	}
+	return out, sc.Err()
+}
+
+// ParseLEF reads macro definitions from a LEF stream.
+func ParseLEF(r io.Reader) (*Library, error) {
+	toks, err := tokens(r)
+	if err != nil {
+		return nil, err
+	}
+	lib := &Library{Macros: map[string]Macro{}}
+	i := 0
+	next := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		t := toks[i]
+		i++
+		return t
+	}
+	peek := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		return toks[i]
+	}
+	skipStatement := func() {
+		for i < len(toks) && toks[i] != ";" {
+			i++
+		}
+		if i < len(toks) {
+			i++
+		}
+	}
+	parseFloat := func(s string) (float64, error) {
+		return strconv.ParseFloat(s, 64)
+	}
+	for i < len(toks) {
+		if toks[i] != "MACRO" {
+			i++
+			continue
+		}
+		i++
+		m := Macro{Name: next(), Pins: map[string]PinDef{}}
+		for i < len(toks) {
+			switch peek() {
+			case "SIZE":
+				next()
+				w, err1 := parseFloat(next())
+				by := next()
+				h, err2 := parseFloat(next())
+				if err1 != nil || err2 != nil || by != "BY" {
+					return nil, fmt.Errorf("lefdef: MACRO %s: bad SIZE", m.Name)
+				}
+				m.W, m.H = w, h
+				skipStatement()
+			case "PIN":
+				next()
+				p := PinDef{Name: next()}
+				gotRect := false
+				for i < len(toks) {
+					if peek() == "RECT" && !gotRect {
+						next()
+						x1, e1 := parseFloat(next())
+						y1, e2 := parseFloat(next())
+						x2, e3 := parseFloat(next())
+						y2, e4 := parseFloat(next())
+						if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+							return nil, fmt.Errorf("lefdef: MACRO %s PIN %s: bad RECT", m.Name, p.Name)
+						}
+						p.X, p.Y = (x1+x2)/2, (y1+y2)/2
+						gotRect = true
+						skipStatement()
+						continue
+					}
+					if peek() == "END" {
+						next()
+						if peek() == p.Name {
+							next()
+							break
+						}
+						continue // END of PORT
+					}
+					next()
+				}
+				m.Pins[p.Name] = p
+			case "END":
+				next()
+				if peek() == m.Name {
+					next()
+				}
+				goto macroDone
+			default:
+				next()
+			}
+		}
+	macroDone:
+		lib.Macros[m.Name] = m
+	}
+	if len(lib.Macros) == 0 {
+		return nil, errors.New("lefdef: no MACRO definitions found")
+	}
+	return lib, nil
+}
+
+// ParseDEF reads a DEF stream against the library and builds a design.
+// IO pins become 1x1 fixed cells named after the pin.
+func ParseDEF(r io.Reader, lib *Library) (*netlist.Design, error) {
+	toks, err := tokens(r)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	next := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		t := toks[i]
+		i++
+		return t
+	}
+	peek := func() string {
+		if i >= len(toks) {
+			return ""
+		}
+		return toks[i]
+	}
+	skipStatement := func() {
+		for i < len(toks) && toks[i] != ";" {
+			i++
+		}
+		if i < len(toks) {
+			i++
+		}
+	}
+	pf := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+
+	designName := "def"
+	var region geom.Rect
+	var rows []netlist.Row
+
+	type comp struct {
+		name, macro string
+		x, y        float64 // lower-left
+		fixed       bool
+	}
+	var comps []comp
+	type ioPin struct {
+		name string
+		x, y float64
+	}
+	var ios []ioPin
+	type netDef struct {
+		name string
+		pins [][2]string // (component | "PIN", pin name)
+	}
+	var nets []netDef
+
+	for i < len(toks) {
+		switch toks[i] {
+		case "DESIGN":
+			i++
+			if nm := next(); nm != "" && nm != ";" {
+				designName = nm
+			}
+			skipStatement()
+		case "DIEAREA":
+			i++
+			// ( x1 y1 ) ( x2 y2 ) ;
+			var vals []float64
+			for peek() != ";" && peek() != "" {
+				t := next()
+				if t == "(" || t == ")" {
+					continue
+				}
+				vals = append(vals, pf(t))
+			}
+			skipStatement()
+			if len(vals) >= 4 {
+				region = geom.Rect{Lx: vals[0], Ly: vals[1], Hx: vals[2], Hy: vals[3]}
+			}
+		case "ROW":
+			i++
+			_ = next() // row name
+			_ = next() // site name
+			x := pf(next())
+			y := pf(next())
+			row := netlist.Row{Y: y, X0: x, Height: 0, SiteWidth: 1}
+			numSites := 1.0
+			// Optional: N DO n BY 1 STEP sx sy
+			for peek() != ";" && peek() != "" {
+				t := next()
+				switch t {
+				case "DO":
+					numSites = pf(next())
+				case "STEP":
+					row.SiteWidth = pf(next())
+				}
+			}
+			skipStatement()
+			row.X1 = row.X0 + numSites*row.SiteWidth
+			rows = append(rows, row)
+		case "COMPONENTS":
+			i++
+			skipStatement() // count ;
+			for peek() == "-" {
+				next()
+				c := comp{name: next(), macro: next()}
+				for peek() != ";" && peek() != "" {
+					t := next()
+					if t == "PLACED" || t == "FIXED" {
+						c.fixed = t == "FIXED"
+						if peek() == "(" {
+							next()
+						}
+						c.x = pf(next())
+						c.y = pf(next())
+						if peek() == ")" {
+							next()
+						}
+					}
+				}
+				skipStatement()
+				comps = append(comps, c)
+			}
+			if peek() == "END" {
+				next()
+				next() // COMPONENTS
+			}
+		case "PINS":
+			i++
+			skipStatement()
+			for peek() == "-" {
+				next()
+				p := ioPin{name: next()}
+				for peek() != ";" && peek() != "" {
+					t := next()
+					if t == "PLACED" || t == "FIXED" {
+						if peek() == "(" {
+							next()
+						}
+						p.x = pf(next())
+						p.y = pf(next())
+						if peek() == ")" {
+							next()
+						}
+					}
+				}
+				skipStatement()
+				ios = append(ios, p)
+			}
+			if peek() == "END" {
+				next()
+				next() // PINS
+			}
+		case "NETS":
+			i++
+			skipStatement()
+			for peek() == "-" {
+				next()
+				n := netDef{name: next()}
+				for peek() != ";" && peek() != "" {
+					if next() == "(" {
+						a := next()
+						b := next()
+						if peek() == ")" {
+							next()
+						}
+						n.pins = append(n.pins, [2]string{a, b})
+					}
+				}
+				skipStatement()
+				nets = append(nets, n)
+			}
+			if peek() == "END" {
+				next()
+				next() // NETS
+			}
+		case "REGIONS", "GROUPS", "BLOCKAGES":
+			// Fence regions / blockages: skipped (the paper removes
+			// them).
+			kw := toks[i]
+			for i < len(toks) && !(toks[i] == "END" && i+1 < len(toks) && toks[i+1] == kw) {
+				i++
+			}
+			i += 2
+		default:
+			i++
+		}
+	}
+
+	if region.Empty() {
+		return nil, errors.New("lefdef: DEF missing DIEAREA")
+	}
+	// DEF ROW statements carry no height (it comes from the LEF site
+	// definition); infer it from the row pitch, falling back to the
+	// shortest core macro.
+	needH := false
+	for _, r := range rows {
+		if r.Height <= 0 {
+			needH = true
+		}
+	}
+	if needH && len(rows) > 0 {
+		pitch := 0.0
+		for i := range rows {
+			for j := range rows {
+				dy := rows[j].Y - rows[i].Y
+				if dy > 0 && (pitch == 0 || dy < pitch) {
+					pitch = dy
+				}
+			}
+		}
+		if pitch == 0 {
+			for _, m := range lib.Macros {
+				if m.H > 0 && (pitch == 0 || m.H < pitch) {
+					pitch = m.H
+				}
+			}
+		}
+		for i := range rows {
+			if rows[i].Height <= 0 {
+				rows[i].Height = pitch
+			}
+		}
+	}
+	d := netlist.NewDesign(designName, region)
+	d.Rows = rows
+
+	cellIdx := map[string]int{}
+	macroOf := map[string]Macro{}
+	for _, c := range comps {
+		m, ok := lib.Macros[c.macro]
+		if !ok {
+			return nil, fmt.Errorf("lefdef: component %s uses unknown macro %s", c.name, c.macro)
+		}
+		kind := netlist.Movable
+		if c.fixed {
+			kind = netlist.Fixed
+		}
+		id := d.AddCell(c.name, m.W, m.H, c.x+m.W/2, c.y+m.H/2, kind)
+		cellIdx[c.name] = id
+		macroOf[c.name] = m
+	}
+	ioIdx := map[string]int{}
+	for _, p := range ios {
+		id := d.AddCell(p.name, 1, 1, p.x, p.y, netlist.Fixed)
+		ioIdx[p.name] = id
+	}
+	for _, n := range nets {
+		d.AddNet(n.name)
+		for _, ref := range n.pins {
+			if ref[0] == "PIN" {
+				id, ok := ioIdx[ref[1]]
+				if !ok {
+					return nil, fmt.Errorf("lefdef: net %s references unknown IO pin %s", n.name, ref[1])
+				}
+				d.AddPin(id, 0, 0)
+				continue
+			}
+			id, ok := cellIdx[ref[0]]
+			if !ok {
+				return nil, fmt.Errorf("lefdef: net %s references unknown component %s", n.name, ref[0])
+			}
+			m := macroOf[ref[0]]
+			pd, ok := m.Pins[ref[1]]
+			if !ok {
+				return nil, fmt.Errorf("lefdef: net %s: macro %s has no pin %s", n.name, m.Name, ref[1])
+			}
+			// LEF pin offsets are from the macro lower-left; convert to
+			// center-relative.
+			d.AddPin(id, pd.X-m.W/2, pd.Y-m.H/2)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteDEF emits the design's components and nets as a DEF file with the
+// given center positions (nil means stored). Pin names are synthesized
+// (p0, p1, ...) since the netlist model does not retain them.
+func WriteDEF(w io.Writer, d *netlist.Design, x, y []float64) error {
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "VERSION 5.8 ;")
+	fmt.Fprintf(bw, "DESIGN %s ;\n", d.Name)
+	fmt.Fprintf(bw, "DIEAREA ( %g %g ) ( %g %g ) ;\n", d.Region.Lx, d.Region.Ly, d.Region.Hx, d.Region.Hy)
+	for ri, r := range d.Rows {
+		fmt.Fprintf(bw, "ROW row_%d core %g %g N DO %d BY 1 STEP %g 0 ;\n",
+			ri, r.X0, r.Y, int((r.X1-r.X0)/r.SiteWidth), r.SiteWidth)
+	}
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", d.NumCells())
+	for c := 0; c < d.NumCells(); c++ {
+		status := "PLACED"
+		if d.CellKind[c] == netlist.Fixed {
+			status = "FIXED"
+		}
+		fmt.Fprintf(bw, "- %s cell_%gx%g + %s ( %g %g ) N ;\n",
+			d.CellName[c], d.CellW[c], d.CellH[c], status,
+			x[c]-d.CellW[c]/2, y[c]-d.CellH[c]/2)
+	}
+	fmt.Fprintln(bw, "END COMPONENTS")
+	fmt.Fprintf(bw, "NETS %d ;\n", d.NumNets())
+	for n := 0; n < d.NumNets(); n++ {
+		fmt.Fprintf(bw, "- %s", d.NetName[n])
+		for p := d.NetPinStart[n]; p < d.NetPinStart[n+1]; p++ {
+			fmt.Fprintf(bw, " ( %s p%d )", d.CellName[d.PinCell[p]], p)
+		}
+		fmt.Fprintln(bw, " ;")
+	}
+	fmt.Fprintln(bw, "END NETS")
+	fmt.Fprintln(bw, "END DESIGN")
+	return bw.Flush()
+}

@@ -1,0 +1,190 @@
+package lefdef
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"xplace/internal/netlist"
+)
+
+const sampleLEF = `
+# a tiny library
+MACRO INV
+  CLASS CORE ;
+  SIZE 2 BY 8 ;
+  PIN A
+    DIRECTION INPUT ;
+    PORT
+      LAYER metal1 ;
+      RECT 0.2 3.0 0.6 5.0 ;
+    END
+  END A
+  PIN Z
+    DIRECTION OUTPUT ;
+    PORT
+      LAYER metal1 ;
+      RECT 1.4 3.0 1.8 5.0 ;
+    END
+  END Z
+END INV
+MACRO RAM
+  CLASS BLOCK ;
+  SIZE 40 BY 32 ;
+  PIN D
+    PORT
+      LAYER metal2 ;
+      RECT 0 0 2 2 ;
+    END
+  END D
+END RAM
+`
+
+const sampleDEF = `
+VERSION 5.8 ;
+DESIGN toy ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 200 160 ) ;
+ROW r0 core 0 0 N DO 100 BY 1 STEP 2 0 ;
+ROW r1 core 0 8 N DO 100 BY 1 STEP 2 0 ;
+COMPONENTS 3 ;
+- u1 INV + PLACED ( 10 0 ) N ;
+- u2 INV + PLACED ( 20 8 ) N ;
+- m1 RAM + FIXED ( 100 100 ) N ;
+END COMPONENTS
+PINS 1 ;
+- clk + NET clk + FIXED ( 0 80 ) N ;
+END PINS
+NETS 2 ;
+- n1 ( u1 Z ) ( u2 A ) ;
+- clk ( PIN clk ) ( u1 A ) ( m1 D ) ;
+END NETS
+END DESIGN
+`
+
+func TestParseLEF(t *testing.T) {
+	lib, err := ParseLEF(strings.NewReader(sampleLEF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Macros) != 2 {
+		t.Fatalf("macros = %d", len(lib.Macros))
+	}
+	inv := lib.Macros["INV"]
+	if inv.W != 2 || inv.H != 8 {
+		t.Errorf("INV size = %gx%g", inv.W, inv.H)
+	}
+	a := inv.Pins["A"]
+	if a.X != 0.4 || a.Y != 4.0 {
+		t.Errorf("pin A offset = (%v,%v), want rect center (0.4,4)", a.X, a.Y)
+	}
+	z := inv.Pins["Z"]
+	if z.X != 1.6 {
+		t.Errorf("pin Z x = %v", z.X)
+	}
+	ram := lib.Macros["RAM"]
+	if ram.W != 40 || ram.H != 32 || len(ram.Pins) != 1 {
+		t.Errorf("RAM = %+v", ram)
+	}
+}
+
+func TestParseLEFEmpty(t *testing.T) {
+	if _, err := ParseLEF(strings.NewReader("VERSION 5.8 ;")); err == nil {
+		t.Error("want error for LEF without macros")
+	}
+}
+
+func TestParseDEF(t *testing.T) {
+	lib, err := ParseLEF(strings.NewReader(sampleLEF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDEF(strings.NewReader(sampleDEF), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "toy" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if d.Region.Hx != 200 || d.Region.Hy != 160 {
+		t.Errorf("region = %v", d.Region)
+	}
+	if len(d.Rows) != 2 || d.Rows[1].Y != 8 || d.Rows[0].X1 != 200 {
+		t.Errorf("rows = %+v", d.Rows)
+	}
+	// 3 components + 1 IO pin cell.
+	if d.NumCells() != 4 {
+		t.Fatalf("cells = %d", d.NumCells())
+	}
+	// u1 at lower-left (10,0), INV 2x8 -> center (11,4).
+	if d.CellX[0] != 11 || d.CellY[0] != 4 {
+		t.Errorf("u1 center = (%v,%v)", d.CellX[0], d.CellY[0])
+	}
+	if d.CellKind[2] != netlist.Fixed {
+		t.Error("RAM must be fixed")
+	}
+	if d.CellKind[0] != netlist.Movable {
+		t.Error("u1 must be movable")
+	}
+	if d.NumNets() != 2 || d.NumPins() != 5 {
+		t.Fatalf("nets/pins = %d/%d", d.NumNets(), d.NumPins())
+	}
+	// Pin offset of u1.Z on n1: LEF (1.6, 4) from LL of 2x8 -> (0.6, 0)
+	// center-relative.
+	if math.Abs(d.PinOffX[0]-0.6) > 1e-12 || d.PinOffY[0] != 0 {
+		t.Errorf("u1.Z offset = (%v,%v)", d.PinOffX[0], d.PinOffY[0])
+	}
+}
+
+func TestParseDEFErrors(t *testing.T) {
+	lib, _ := ParseLEF(strings.NewReader(sampleLEF))
+	cases := map[string]string{
+		"unknown macro": strings.Replace(sampleDEF, "u1 INV", "u1 NAND", 1),
+		"unknown comp":  strings.Replace(sampleDEF, "( u2 A )", "( ghost A )", 1),
+		"unknown pin":   strings.Replace(sampleDEF, "( u2 A )", "( u2 Q )", 1),
+		"no diearea":    strings.Replace(sampleDEF, "DIEAREA ( 0 0 ) ( 200 160 ) ;", "", 1),
+	}
+	for name, def := range cases {
+		if _, err := ParseDEF(strings.NewReader(def), lib); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestParseDEFSkipsRegions(t *testing.T) {
+	lib, _ := ParseLEF(strings.NewReader(sampleLEF))
+	def := strings.Replace(sampleDEF, "NETS 2 ;",
+		"REGIONS 1 ;\n- fence ( 0 0 ) ( 10 10 ) + TYPE FENCE ;\nEND REGIONS\nNETS 2 ;", 1)
+	d, err := ParseDEF(strings.NewReader(def), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNets() != 2 {
+		t.Errorf("nets after region skip = %d", d.NumNets())
+	}
+}
+
+func TestWriteDEF(t *testing.T) {
+	lib, _ := ParseLEF(strings.NewReader(sampleLEF))
+	d, err := ParseDEF(strings.NewReader(sampleDEF), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDEF(&buf, d, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"DESIGN toy ;",
+		"DIEAREA ( 0 0 ) ( 200 160 ) ;",
+		"- u1 cell_2x8 + PLACED ( 10 0 ) N ;",
+		"- m1 cell_40x32 + FIXED ( 100 100 ) N ;",
+		"END DESIGN",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

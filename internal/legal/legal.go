@@ -1,0 +1,458 @@
+// Package legal turns a global placement into a legal one: every movable
+// standard cell on a row, on a site, inside a free segment (row intervals
+// not blocked by fixed macros), with no overlaps. Two standard algorithms
+// are provided, matching the external legalizers the paper invokes
+// (NTUPlace3's greedy flow and the DREAMPlace legalizer):
+//
+//   - Tetris: cells sorted by x greedily take the nearest feasible
+//     position left-to-right (fast, moderate displacement).
+//   - Abacus: row-based dynamic clustering that minimizes total squared
+//     displacement (slower, better quality).
+package legal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+// Segment is a free interval of a placement row.
+type Segment struct {
+	Y         float64 // row lower edge
+	X0, X1    float64
+	SiteWidth float64
+	Height    float64
+}
+
+// BuildSegments splits each row of d into free segments around the
+// footprints of fixed cells. Segments narrower than one site are dropped.
+func BuildSegments(d *netlist.Design) []Segment {
+	var segs []Segment
+	for _, row := range d.Rows {
+		// Collect blocked x-intervals of fixed cells overlapping this row.
+		type iv struct{ a, b float64 }
+		var blocks []iv
+		for c, k := range d.CellKind {
+			if k != netlist.Fixed {
+				continue
+			}
+			r := d.CellRect(c)
+			if r.Ly < row.Y+row.Height && r.Hy > row.Y {
+				blocks = append(blocks, iv{math.Max(r.Lx, row.X0), math.Min(r.Hx, row.X1)})
+			}
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
+		x := row.X0
+		emit := func(a, b float64) {
+			if b-a >= row.SiteWidth && row.SiteWidth > 0 {
+				segs = append(segs, Segment{Y: row.Y, X0: a, X1: b, SiteWidth: row.SiteWidth, Height: row.Height})
+			}
+		}
+		for _, b := range blocks {
+			if b.a > x {
+				emit(x, b.a)
+			}
+			if b.b > x {
+				x = b.b
+			}
+		}
+		if x < row.X1 {
+			emit(x, row.X1)
+		}
+	}
+	return segs
+}
+
+// snap aligns a lower-left x onto the segment's site grid (floor).
+func (s Segment) snap(x float64) float64 {
+	k := math.Floor((x - s.X0) / s.SiteWidth)
+	if k < 0 {
+		k = 0
+	}
+	return s.X0 + k*s.SiteWidth
+}
+
+// movableStdCells returns ids of movable cells, erroring on cells taller
+// than a row (multi-row movable cells are out of scope for these
+// legalizers).
+func movableStdCells(d *netlist.Design) ([]int, error) {
+	if len(d.Rows) == 0 {
+		return nil, errors.New("legal: design has no rows")
+	}
+	rowH := d.Rows[0].Height
+	var cells []int
+	for c, k := range d.CellKind {
+		if k != netlist.Movable {
+			continue
+		}
+		if d.CellH[c] > rowH*1.001 {
+			return nil, fmt.Errorf("legal: movable cell %q is taller than a row (%g > %g)", d.CellName[c], d.CellH[c], rowH)
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// Tetris legalizes the movable cells of d from the global positions
+// (x, y) (cell centers) and returns new center positions. Cells are
+// processed in x order and greedily take the free interval position of
+// minimum displacement; free intervals are tracked exactly (no frontier
+// waste), so the legalizer fills gaps behind earlier placements. Fixed
+// cells pass through unchanged.
+func Tetris(d *netlist.Design, x, y []float64) ([]float64, []float64, error) {
+	cells, err := movableStdCells(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs := BuildSegments(d)
+	if len(segs) == 0 {
+		return nil, nil, errors.New("legal: no free segments")
+	}
+	type iv struct{ a, b float64 }
+	free := make([][]iv, len(segs))
+	for i, s := range segs {
+		free[i] = []iv{{s.X0, s.X1}}
+	}
+	rowH := d.Rows[0].Height
+	outX := append([]float64(nil), x...)
+	outY := append([]float64(nil), y...)
+
+	order := append([]int(nil), cells...)
+	sort.Slice(order, func(i, j int) bool { return x[order[i]] < x[order[j]] })
+
+	// fit returns the best snapped lower-left position in interval v of
+	// segment s for width w and desired lower-left des, or ok=false.
+	fit := func(s Segment, v iv, w, des float64) (float64, bool) {
+		if v.b-v.a < w-1e-9 {
+			return 0, false
+		}
+		cand := des
+		if cand < v.a {
+			cand = v.a
+		}
+		if cand > v.b-w {
+			cand = v.b - w
+		}
+		cand = s.snap(cand)
+		if cand < v.a-1e-9 {
+			cand += s.SiteWidth
+		}
+		if cand+w > v.b+1e-9 {
+			return 0, false
+		}
+		return cand, true
+	}
+	place := func(c int, window float64) bool {
+		w := d.CellW[c]
+		desLx := x[c] - w/2
+		fence, fenced := d.FenceOf(c)
+		bestCost := math.Inf(1)
+		bestSeg, bestIv := -1, -1
+		bestX := 0.0
+		for i := range segs {
+			s := segs[i]
+			if fenced && (s.Y < fence.Ly-1e-9 || s.Y+s.Height > fence.Hy+1e-9) {
+				continue // row outside the cell's fence
+			}
+			dy := math.Abs((s.Y + d.CellH[c]/2) - y[c])
+			if window > 0 && dy > window {
+				continue
+			}
+			if 2*dy >= bestCost {
+				continue
+			}
+			for j, v := range free[i] {
+				if fenced {
+					// Clip the interval to the fence's x-range.
+					if v.a < fence.Lx {
+						v.a = fence.Lx
+					}
+					if v.b > fence.Hx {
+						v.b = fence.Hx
+					}
+				}
+				cand, ok := fit(s, v, w, desLx)
+				if !ok {
+					continue
+				}
+				cost := math.Abs(cand+w/2-x[c]) + 2*dy
+				if cost < bestCost {
+					bestCost, bestSeg, bestIv, bestX = cost, i, j, cand
+				}
+			}
+		}
+		if bestSeg < 0 {
+			return false
+		}
+		// Split the interval.
+		v := free[bestSeg][bestIv]
+		repl := make([]iv, 0, 2)
+		if bestX-v.a >= segs[bestSeg].SiteWidth {
+			repl = append(repl, iv{v.a, bestX})
+		}
+		if v.b-(bestX+w) >= segs[bestSeg].SiteWidth {
+			repl = append(repl, iv{bestX + w, v.b})
+		}
+		free[bestSeg] = append(free[bestSeg][:bestIv], append(repl, free[bestSeg][bestIv+1:]...)...)
+		outX[c] = bestX + w/2
+		outY[c] = segs[bestSeg].Y + d.CellH[c]/2
+		return true
+	}
+	for _, c := range order {
+		if !place(c, 10*rowH) && !place(c, 0) {
+			return nil, nil, fmt.Errorf("legal: no space for cell %q (w=%g)", d.CellName[c], d.CellW[c])
+		}
+	}
+	return outX, outY, nil
+}
+
+// abCluster is an Abacus cluster: a maximal run of abutting cells in a
+// segment, placed at the weighted optimal position (Abacus, Spindler et
+// al.: x_c = (sum e_i*(x_i' - offset_i)) / sum e_i).
+type abCluster struct {
+	x     float64 // lower-left of the cluster
+	e     float64 // total weight
+	q     float64 // weighted desired-position sum
+	w     float64 // total width
+	cells []int
+}
+
+// segState is the per-segment Abacus state.
+type segState struct {
+	seg      Segment
+	clusters []abCluster
+	used     float64
+}
+
+// placeRow runs the Abacus PlaceRow recurrence: append cell c with
+// desired lower-left desLx, collapse clusters, and return the total
+// squared displacement of the segment. des maps cells to their desired
+// lower-left positions. With commit false the state is left untouched.
+func (st *segState) placeRow(d *netlist.Design, c int, desLx float64, des map[int]float64, commit bool) (float64, bool) {
+	w := d.CellW[c]
+	if st.used+w > st.seg.X1-st.seg.X0+1e-9 {
+		return 0, false
+	}
+	clusters := append([]abCluster(nil), st.clusters...)
+	clusters = append(clusters, abCluster{x: desLx, e: 1, q: desLx, w: w, cells: []int{c}})
+	for {
+		k := len(clusters) - 1
+		cl := &clusters[k]
+		if cl.x < st.seg.X0 {
+			cl.x = st.seg.X0
+		}
+		if cl.x+cl.w > st.seg.X1 {
+			cl.x = st.seg.X1 - cl.w
+		}
+		if k == 0 {
+			break
+		}
+		prev := &clusters[k-1]
+		if prev.x+prev.w <= cl.x+1e-12 {
+			break
+		}
+		merged := abCluster{
+			e:     prev.e + cl.e,
+			q:     prev.q + cl.q - cl.e*prev.w, // members of cl shift right by prev.w
+			w:     prev.w + cl.w,
+			cells: append(append([]int(nil), prev.cells...), cl.cells...),
+		}
+		merged.x = merged.q / merged.e
+		clusters = append(clusters[:k-1], merged)
+	}
+	// Cost: squared displacement of every cell in the segment from its
+	// desired position, with cluster origins snapped to sites.
+	cost := 0.0
+	for _, cl := range clusters {
+		xx := st.seg.snap(cl.x)
+		if xx+cl.w > st.seg.X1+1e-9 {
+			xx -= st.seg.SiteWidth
+		}
+		if xx < st.seg.X0-1e-9 {
+			return 0, false
+		}
+		for _, cc := range cl.cells {
+			dd := xx - des[cc]
+			cost += dd * dd
+			xx += d.CellW[cc]
+		}
+	}
+	if commit {
+		st.clusters = clusters
+		st.used += w
+	}
+	return cost, true
+}
+
+// Abacus legalizes via row-based squared-displacement clustering. Each
+// cell tries the segments nearest its global y first; the window widens
+// only if none fits. Fence-constrained designs are not supported by the
+// clustering formulation — use Tetris.
+func Abacus(d *netlist.Design, x, y []float64) ([]float64, []float64, error) {
+	for c := range d.CellFence {
+		if d.CellFence[c] >= 0 && d.CellKind[c] == netlist.Movable {
+			return nil, nil, errors.New("legal: Abacus does not support fence regions; use Tetris")
+		}
+	}
+	cells, err := movableStdCells(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	segs := BuildSegments(d)
+	if len(segs) == 0 {
+		return nil, nil, errors.New("legal: no free segments")
+	}
+	states := make([]segState, len(segs))
+	for i, s := range segs {
+		states[i] = segState{seg: s}
+	}
+	rowH := d.Rows[0].Height
+	outX := append([]float64(nil), x...)
+	outY := append([]float64(nil), y...)
+
+	order := append([]int(nil), cells...)
+	sort.Slice(order, func(i, j int) bool { return x[order[i]] < x[order[j]] })
+
+	des := make(map[int]float64, len(cells))
+	try := func(c int, desLx float64, window float64) (int, float64) {
+		bestCost := math.Inf(1)
+		best := -1
+		for i := range states {
+			st := &states[i]
+			dy := (st.seg.Y + d.CellH[c]/2) - y[c]
+			if window > 0 && math.Abs(dy) > window {
+				continue
+			}
+			trial, ok := st.placeRow(d, c, desLx, des, false)
+			if !ok {
+				continue
+			}
+			cost := trial + 4*dy*dy
+			if cost < bestCost {
+				bestCost = cost
+				best = i
+			}
+		}
+		return best, bestCost
+	}
+	for _, c := range order {
+		desLx := x[c] - d.CellW[c]/2
+		des[c] = desLx
+		best, _ := try(c, desLx, 10*rowH)
+		if best < 0 {
+			best, _ = try(c, desLx, 0) // widen to all segments
+		}
+		if best < 0 {
+			return nil, nil, fmt.Errorf("legal: no space for cell %q", d.CellName[c])
+		}
+		states[best].placeRow(d, c, desLx, des, true)
+	}
+	for i := range states {
+		st := &states[i]
+		for _, cl := range st.clusters {
+			xx := st.seg.snap(cl.x)
+			if xx+cl.w > st.seg.X1+1e-9 {
+				xx -= st.seg.SiteWidth
+			}
+			for _, cc := range cl.cells {
+				outX[cc] = xx + d.CellW[cc]/2
+				outY[cc] = st.seg.Y + d.CellH[cc]/2
+				xx += d.CellW[cc]
+			}
+		}
+	}
+	return outX, outY, nil
+}
+
+// Violation describes one legality failure found by Check.
+type Violation struct {
+	Kind  string // "overlap", "off-row", "off-site", "outside"
+	CellA int
+	CellB int // -1 unless overlap
+}
+
+// Check validates a placement: movable cells must sit inside the region,
+// on a row, on a site, without overlapping each other or fixed cells.
+// Returns all violations found (empty means legal).
+func Check(d *netlist.Design, x, y []float64) []Violation {
+	var out []Violation
+	segs := BuildSegments(d)
+	var movable []int
+	for c, k := range d.CellKind {
+		if k == netlist.Movable {
+			movable = append(movable, c)
+		}
+	}
+	for _, c := range movable {
+		lx := x[c] - d.CellW[c]/2
+		ly := y[c] - d.CellH[c]/2
+		hx := x[c] + d.CellW[c]/2
+		hy := y[c] + d.CellH[c]/2
+		if lx < d.Region.Lx-1e-6 || hx > d.Region.Hx+1e-6 || ly < d.Region.Ly-1e-6 || hy > d.Region.Hy+1e-6 {
+			out = append(out, Violation{Kind: "outside", CellA: c, CellB: -1})
+			continue
+		}
+		// Must lie fully inside one free segment, lower edge on the row,
+		// x on a site.
+		found := false
+		for _, s := range segs {
+			if math.Abs(ly-s.Y) < 1e-6 && lx >= s.X0-1e-6 && hx <= s.X1+1e-6 {
+				found = true
+				k := (lx - s.X0) / s.SiteWidth
+				if math.Abs(k-math.Round(k)) > 1e-6 {
+					out = append(out, Violation{Kind: "off-site", CellA: c, CellB: -1})
+				}
+				break
+			}
+		}
+		if !found {
+			out = append(out, Violation{Kind: "off-row", CellA: c, CellB: -1})
+		}
+		if fence, ok := d.FenceOf(c); ok {
+			if !fence.ContainsRect(geom.Rect{Lx: lx, Ly: ly, Hx: hx, Hy: hy}) {
+				out = append(out, Violation{Kind: "fence", CellA: c, CellB: -1})
+			}
+		}
+	}
+	// Pairwise overlaps via sweep by x.
+	order := append([]int(nil), movable...)
+	sort.Slice(order, func(i, j int) bool {
+		return x[order[i]]-d.CellW[order[i]]/2 < x[order[j]]-d.CellW[order[j]]/2
+	})
+	for i := 0; i < len(order); i++ {
+		a := order[i]
+		aHx := x[a] + d.CellW[a]/2
+		for j := i + 1; j < len(order); j++ {
+			b := order[j]
+			bLx := x[b] - d.CellW[b]/2
+			if bLx >= aHx-1e-9 {
+				break
+			}
+			// x-overlap; check y.
+			if math.Abs(y[a]-y[b]) < (d.CellH[a]+d.CellH[b])/2-1e-9 {
+				out = append(out, Violation{Kind: "overlap", CellA: a, CellB: b})
+			}
+		}
+	}
+	return out
+}
+
+// Displacement returns the total and maximum movable-cell displacement
+// between two placements.
+func Displacement(d *netlist.Design, x0, y0, x1, y1 []float64) (total, max float64) {
+	for c, k := range d.CellKind {
+		if k != netlist.Movable {
+			continue
+		}
+		dd := math.Abs(x1[c]-x0[c]) + math.Abs(y1[c]-y0[c])
+		total += dd
+		if dd > max {
+			max = dd
+		}
+	}
+	return total, max
+}

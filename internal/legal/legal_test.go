@@ -1,0 +1,266 @@
+package legal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+// rowDesign builds a design with rows and n movable 2-wide cells at
+// random positions, plus an optional central fixed macro.
+func rowDesign(tb testing.TB, n int, withMacro bool, seed int64) *netlist.Design {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	side := 64.0
+	d := netlist.NewDesign("rows", geom.Rect{Hx: side, Hy: side})
+	for y := 0.0; y+4 <= side; y += 4 {
+		d.Rows = append(d.Rows, netlist.Row{Y: y, X0: 0, X1: side, Height: 4, SiteWidth: 1})
+	}
+	if withMacro {
+		d.AddCell("macro", 16, 16, 32, 32, netlist.Fixed)
+	}
+	for i := 0; i < n; i++ {
+		d.AddCell("c", 2, 4, 1+rng.Float64()*(side-2), 2+rng.Float64()*(side-4), netlist.Movable)
+	}
+	if err := d.Finish(); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildSegmentsNoMacro(t *testing.T) {
+	d := rowDesign(t, 1, false, 1)
+	segs := BuildSegments(d)
+	if len(segs) != 16 {
+		t.Fatalf("segments = %d, want 16 full rows", len(segs))
+	}
+	for _, s := range segs {
+		if s.X0 != 0 || s.X1 != 64 {
+			t.Errorf("segment %+v should span the row", s)
+		}
+	}
+}
+
+func TestBuildSegmentsSplitsAroundMacro(t *testing.T) {
+	d := rowDesign(t, 1, true, 1)
+	segs := BuildSegments(d)
+	// Macro spans y 24..40 (4 rows blocked: y=24,28,32,36), x 24..40.
+	split := 0
+	for _, s := range segs {
+		if s.Y >= 24 && s.Y < 40 {
+			split++
+			if s.X1 > 24+1e-9 && s.X0 < 40-1e-9 {
+				t.Errorf("segment %+v overlaps macro", s)
+			}
+		}
+	}
+	if split != 8 { // 4 blocked rows x 2 side segments
+		t.Errorf("split segments = %d, want 8", split)
+	}
+}
+
+func checkLegalAndDisp(t *testing.T, d *netlist.Design, x0, y0, lx, ly []float64, maxDispBound float64) {
+	t.Helper()
+	if v := Check(d, lx, ly); len(v) != 0 {
+		t.Fatalf("%d violations, first: %+v", len(v), v[0])
+	}
+	total, max := Displacement(d, x0, y0, lx, ly)
+	if max > maxDispBound {
+		t.Errorf("max displacement %.2f exceeds %.2f", max, maxDispBound)
+	}
+	_ = total
+}
+
+func TestTetrisLegalizes(t *testing.T) {
+	d := rowDesign(t, 300, true, 2)
+	lx, ly, err := Tetris(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegalAndDisp(t, d, d.CellX, d.CellY, lx, ly, 64)
+}
+
+func TestAbacusLegalizes(t *testing.T) {
+	d := rowDesign(t, 300, true, 3)
+	lx, ly, err := Abacus(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLegalAndDisp(t, d, d.CellX, d.CellY, lx, ly, 64)
+}
+
+func TestAbacusBeatsTetrisOnDisplacement(t *testing.T) {
+	d := rowDesign(t, 400, false, 4)
+	tx, ty, err := Tetris(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, ay, err := Abacus(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tTot, _ := Displacement(d, d.CellX, d.CellY, tx, ty)
+	aTot, _ := Displacement(d, d.CellX, d.CellY, ax, ay)
+	if aTot > tTot*1.2 {
+		t.Errorf("Abacus displacement %.1f should not be much worse than Tetris %.1f", aTot, tTot)
+	}
+	t.Logf("displacement: tetris=%.1f abacus=%.1f", tTot, aTot)
+}
+
+func TestLegalizeOverfullFails(t *testing.T) {
+	d := netlist.NewDesign("full", geom.Rect{Hx: 8, Hy: 4})
+	d.Rows = append(d.Rows, netlist.Row{Y: 0, X0: 0, X1: 8, Height: 4, SiteWidth: 1})
+	for i := 0; i < 10; i++ { // 10 cells of width 2 into 8 sites
+		d.AddCell("c", 2, 4, 4, 2, netlist.Movable)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Tetris(d, d.CellX, d.CellY); err == nil {
+		t.Error("Tetris should fail on overfull design")
+	}
+	if _, _, err := Abacus(d, d.CellX, d.CellY); err == nil {
+		t.Error("Abacus should fail on overfull design")
+	}
+}
+
+func TestLegalizeNoRowsFails(t *testing.T) {
+	d := netlist.NewDesign("norows", geom.Rect{Hx: 10, Hy: 10})
+	d.AddCell("c", 1, 1, 5, 5, netlist.Movable)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Tetris(d, d.CellX, d.CellY); err == nil {
+		t.Error("want error for design without rows")
+	}
+}
+
+func TestLegalizeTallMovableFails(t *testing.T) {
+	d := netlist.NewDesign("tall", geom.Rect{Hx: 20, Hy: 20})
+	d.Rows = append(d.Rows, netlist.Row{Y: 0, X0: 0, X1: 20, Height: 4, SiteWidth: 1})
+	d.AddCell("tall", 2, 12, 10, 10, netlist.Movable)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Tetris(d, d.CellX, d.CellY); err == nil {
+		t.Error("want error for multi-row movable cell")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	d := rowDesign(t, 2, false, 5)
+	x := append([]float64(nil), d.CellX...)
+	y := append([]float64(nil), d.CellY...)
+	// Two overlapping cells off-row.
+	x[0], y[0] = 10.5, 3.3
+	x[1], y[1] = 10.9, 3.3
+	v := Check(d, x, y)
+	var overlaps, offrow int
+	for _, vi := range v {
+		switch vi.Kind {
+		case "overlap":
+			overlaps++
+		case "off-row":
+			offrow++
+		}
+	}
+	if overlaps == 0 {
+		t.Error("overlap not detected")
+	}
+	if offrow == 0 {
+		t.Error("off-row not detected")
+	}
+	// Outside region.
+	x[0] = -5
+	v = Check(d, x, y)
+	found := false
+	for _, vi := range v {
+		if vi.Kind == "outside" && vi.CellA == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("outside not detected")
+	}
+}
+
+func TestCheckAcceptsLegal(t *testing.T) {
+	d := rowDesign(t, 3, false, 6)
+	x := []float64{1, 4, 10}
+	y := []float64{2, 2, 6}
+	// width-2 cells at lower-left 0,3,9 on rows y=0 and y=4: legal.
+	if v := Check(d, x, y); len(v) != 0 {
+		t.Errorf("legal placement flagged: %+v", v)
+	}
+}
+
+func TestLegalizeGeneratedDesign(t *testing.T) {
+	spec, _ := benchgen.FindSpec("fft_1")
+	d := benchgen.Generate(spec, 0.03, 1)
+	lx, ly, err := Tetris(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := Check(d, lx, ly); len(v) != 0 {
+		t.Fatalf("tetris on generated design: %d violations, first %+v", len(v), v[0])
+	}
+	hp0 := d.HPWL(nil, nil)
+	hp1 := d.HPWL(lx, ly)
+	if hp1 > hp0*1.5 {
+		t.Errorf("legalization blew up HPWL: %.0f -> %.0f", hp0, hp1)
+	}
+}
+
+func TestHPWLPreservedUnderSmallDisplacement(t *testing.T) {
+	// Property: legalizing an already-legal placement should barely move
+	// cells.
+	d := rowDesign(t, 100, false, 7)
+	lx, ly, err := Abacus(d, d.CellX, d.CellY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx2, ly2, err := Abacus(d, lx, ly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, max := Displacement(d, lx, ly, lx2, ly2)
+	if max > 2.001 {
+		t.Errorf("re-legalization moved a cell by %.2f", max)
+	}
+}
+
+func TestDisplacementMath(t *testing.T) {
+	d := rowDesign(t, 2, false, 8)
+	x1 := append([]float64(nil), d.CellX...)
+	y1 := append([]float64(nil), d.CellY...)
+	x1[0] += 3
+	y1[1] -= 4
+	total, max := Displacement(d, d.CellX, d.CellY, x1, y1)
+	if math.Abs(total-7) > 1e-12 || math.Abs(max-4) > 1e-12 {
+		t.Errorf("total/max = %v/%v", total, max)
+	}
+}
+
+func BenchmarkTetris(b *testing.B) {
+	d := rowDesign(b, 400, true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Tetris(d, d.CellX, d.CellY); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAbacus(b *testing.B) {
+	d := rowDesign(b, 300, true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Abacus(d, d.CellX, d.CellY); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func smallCfg() Config { return Config{Width: 6, Modes: 4, Layers: 2, Seed: 1} }
+
+func TestParamCountPaperScale(t *testing.T) {
+	m := NewModel(DefaultConfig())
+	got := m.ParamCount()
+	// The paper reports 471k parameters; the default config must land in
+	// the same class (within ~10%).
+	if got < 420_000 || got > 520_000 {
+		t.Errorf("ParamCount = %d, want ~471k", got)
+	}
+	t.Logf("default model parameters: %d (paper: 471k)", got)
+}
+
+func TestForwardShapeAndDeterminism(t *testing.T) {
+	m := NewModel(smallCfg())
+	h, w := 16, 16
+	d := make([]float64, h*w)
+	for i := range d {
+		d[i] = float64(i%7) * 0.1
+	}
+	a := m.Forward(d, h, w)
+	b := m.Forward(d, h, w)
+	if len(a) != h*w {
+		t.Fatalf("output len %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("forward not deterministic")
+		}
+		if math.IsNaN(a[i]) {
+			t.Fatal("NaN in output")
+		}
+	}
+}
+
+// Gradient check: numerical vs analytic for a few random parameters.
+func TestBackwardFiniteDifference(t *testing.T) {
+	m := NewModel(smallCfg())
+	h, w := 8, 8
+	rng := rand.New(rand.NewSource(3))
+	dens := make([]float64, h*w)
+	label := make([]float64, h*w)
+	for i := range dens {
+		dens[i] = rng.Float64()
+		label[i] = rng.NormFloat64()
+	}
+	m.zeroGrad()
+	m.forwardBackward(dens, label, h, w)
+	ps, gs := m.params()
+
+	loss := func() float64 {
+		pred := m.Forward(dens, h, w)
+		var diff, lab float64
+		for i := range pred {
+			d := pred[i] - label[i]
+			diff += d * d
+			lab += label[i] * label[i]
+		}
+		return math.Sqrt(diff) / math.Sqrt(lab)
+	}
+	const eps = 1e-6
+	checked := 0
+	for gi := 0; gi < len(ps); gi++ {
+		for _, j := range []int{0, len(ps[gi]) / 2} {
+			if j >= len(ps[gi]) {
+				continue
+			}
+			orig := ps[gi][j]
+			ps[gi][j] = orig + eps
+			up := loss()
+			ps[gi][j] = orig - eps
+			dn := loss()
+			ps[gi][j] = orig
+			fd := (up - dn) / (2 * eps)
+			an := gs[gi][j]
+			if math.Abs(fd-an) > 1e-4*(1+math.Abs(fd)) {
+				t.Errorf("param group %d[%d]: analytic %v vs FD %v", gi, j, an, fd)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d params checked", checked)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	samples := GenerateSamples(12, 16, 16, 5)
+	m := NewModel(smallCfg())
+	before := m.Evaluate(samples)
+	losses := m.Train(samples, TrainOptions{Epochs: 30, LR: 2e-3, Seed: 1})
+	after := m.Evaluate(samples)
+	if after >= before {
+		t.Errorf("training did not improve: %.4f -> %.4f", before, after)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Errorf("loss curve not decreasing: %v ... %v", losses[0], losses[len(losses)-1])
+	}
+	if after > 0.5 {
+		t.Errorf("final training error %.3f too high", after)
+	}
+	t.Logf("rel-L2: untrained %.3f -> trained %.3f", before, after)
+}
+
+func TestGeneralizesToUnseenMaps(t *testing.T) {
+	train := GenerateSamples(24, 16, 16, 7)
+	test := GenerateSamples(8, 16, 16, 99)
+	m := NewModel(smallCfg())
+	untrained := m.Evaluate(test)
+	m.Train(train, TrainOptions{Epochs: 40, LR: 2e-3, Seed: 2})
+	trained := m.Evaluate(test)
+	if trained >= untrained {
+		t.Errorf("no generalization: %.3f -> %.3f on unseen maps", untrained, trained)
+	}
+	t.Logf("unseen maps rel-L2: %.3f -> %.3f", untrained, trained)
+}
+
+// The §3.3 resolution-independence claim: a model trained at 16x16 must
+// still beat an untrained model at 32x32.
+func TestResolutionTransfer(t *testing.T) {
+	train := GenerateSamples(24, 16, 16, 11)
+	hi := GenerateSamples(6, 32, 32, 13)
+	m := NewModel(smallCfg())
+	untrainedHi := m.Evaluate(hi)
+	m.Train(train, TrainOptions{Epochs: 40, LR: 2e-3, Seed: 3})
+	trainedHi := m.Evaluate(hi)
+	if trainedHi >= untrainedHi {
+		t.Errorf("no resolution transfer: %.3f -> %.3f at 32x32", untrainedHi, trainedHi)
+	}
+	t.Logf("32x32 rel-L2 after 16x16 training: %.3f (untrained %.3f)", trainedHi, untrainedHi)
+}
+
+// The flip trick: the x-direction model predicts the y field through
+// transposition.
+func TestFlipTrickPredictsYField(t *testing.T) {
+	train := GenerateSamples(24, 16, 16, 17)
+	test := GenerateSamples(8, 16, 16, 23)
+	m := NewModel(smallCfg())
+	untrainedY := m.EvaluateFlipY(test)
+	m.Train(train, TrainOptions{Epochs: 40, LR: 2e-3, Seed: 4})
+	trainedY := m.EvaluateFlipY(test)
+	if trainedY >= untrainedY {
+		t.Errorf("flip trick failed: %.3f -> %.3f", untrainedY, trainedY)
+	}
+	t.Logf("y-field via flip: %.3f -> %.3f", untrainedY, trainedY)
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	h, w := 3, 5
+	a := make([]float64, h*w)
+	for i := range a {
+		a[i] = float64(i)
+	}
+	b := transpose(transpose(a, h, w), w, h)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}
+
+func TestPredictorFillsBothFields(t *testing.T) {
+	m := NewModel(smallCfg())
+	p := &Predictor{M: m}
+	nx, ny := 16, 16
+	d := make([]float64, nx*ny)
+	d[5*nx+5] = 2
+	ex := make([]float64, nx*ny)
+	ey := make([]float64, nx*ny)
+	p.PredictField(d, nx, ny, ex, ey)
+	var sx, sy float64
+	for i := range ex {
+		sx += math.Abs(ex[i])
+		sy += math.Abs(ey[i])
+	}
+	if sx == 0 || sy == 0 {
+		t.Error("predictor produced an all-zero field")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := NewModel(smallCfg())
+	samples := GenerateSamples(4, 16, 16, 29)
+	m.Train(samples, TrainOptions{Epochs: 3, LR: 1e-3})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := samples[0].Density
+	a := m.Forward(d, 16, 16)
+	b := m2.Forward(d, 16, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model diverges from saved model")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a model")); err == nil {
+		t.Error("want error for garbage input")
+	}
+}
+
+func TestNewModelPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewModel(Config{})
+}
+
+func TestForwardPanicsOnTinyResolution(t *testing.T) {
+	m := NewModel(smallCfg()) // modes 4 needs >= 8x8
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for 4x4 input")
+		}
+	}()
+	m.Forward(make([]float64, 16), 4, 4)
+}
+
+func TestGeluSanity(t *testing.T) {
+	if gelu(0) != 0 {
+		t.Error("gelu(0) != 0")
+	}
+	if gelu(10) < 9.9 {
+		t.Error("positive tail should approach identity")
+	}
+	if g := gelu(-10); g > 1e-6 || g < -0.01 {
+		t.Errorf("negative tail should vanish, got %v", g)
+	}
+	// Derivative via finite difference.
+	for _, x := range []float64{-2, -0.5, 0, 0.7, 3} {
+		fd := (gelu(x+1e-6) - gelu(x-1e-6)) / 2e-6
+		if math.Abs(fd-geluGrad(x)) > 1e-5 {
+			t.Errorf("geluGrad(%v) = %v, FD %v", x, geluGrad(x), fd)
+		}
+	}
+}
+
+func BenchmarkForward32(b *testing.B) {
+	m := NewModel(smallCfg())
+	d := make([]float64, 32*32)
+	for i := range d {
+		d[i] = float64(i%5) * 0.2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(d, 32, 32)
+	}
+}

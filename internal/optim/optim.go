@@ -1,0 +1,314 @@
+// Package optim provides the gradient-based optimizers of the placement
+// core engine (Figure 1): a Nesterov accelerated method with Lipschitz
+// steplength prediction (the ePlace/DREAMPlace optimizer) and Adam. It
+// also implements the Jacobi preconditioner of §3.2 whose diagonal
+// H = H_W + lambda*H_D defines the precondition weighted ratio omega.
+//
+// Optimizers treat x and y as one concatenated parameter vector but keep
+// the two slices separate to avoid copies in the gradient operators.
+package optim
+
+import (
+	"math"
+
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+// Optimizer is the pluggable optimization module of the core engine.
+type Optimizer interface {
+	// Positions returns the coordinates at which the next gradient must be
+	// evaluated (the lookahead point for Nesterov; the current iterate for
+	// Adam). The caller must not mutate the returned slices.
+	Positions() (x, y []float64)
+	// Step consumes the gradient evaluated at Positions and advances the
+	// iterate. gx/gy are indexed by cell.
+	Step(e *kernel.Engine, gx, gy []float64)
+	// Current returns the best current solution (major point).
+	Current() (x, y []float64)
+}
+
+// Bounds clamp cell centers into the legal placement area; entries are
+// per-cell [lo, hi] for each axis. Cells whose entry is lo > hi (fixed
+// cells) are never moved.
+type Bounds struct {
+	LoX, HiX, LoY, HiY []float64
+}
+
+// NewBounds derives clamping bounds from a design: movable and filler cell
+// centers stay inside the region inset by half the cell size; fixed cells
+// get frozen bounds (lo > hi).
+func NewBounds(d *netlist.Design) Bounds {
+	n := d.NumCells()
+	b := Bounds{
+		LoX: make([]float64, n), HiX: make([]float64, n),
+		LoY: make([]float64, n), HiY: make([]float64, n),
+	}
+	r := d.Region
+	for c := 0; c < n; c++ {
+		if d.CellKind[c] == netlist.Fixed {
+			b.LoX[c], b.HiX[c] = 1, -1 // frozen
+			b.LoY[c], b.HiY[c] = 1, -1
+			continue
+		}
+		hw, hh := d.CellW[c]/2, d.CellH[c]/2
+		box := r
+		if f, ok := d.FenceOf(c); ok {
+			box = f // fence containment (region constraint extension)
+		}
+		lox, hix := box.Lx+hw, box.Hx-hw
+		loy, hiy := box.Ly+hh, box.Hy-hh
+		if lox > hix { // cell wider than its box: pin to the box center
+			mid := (box.Lx + box.Hx) / 2
+			lox, hix = mid, mid
+		}
+		if loy > hiy {
+			mid := (box.Ly + box.Hy) / 2
+			loy, hiy = mid, mid
+		}
+		b.LoX[c], b.HiX[c] = lox, hix
+		b.LoY[c], b.HiY[c] = loy, hiy
+	}
+	return b
+}
+
+func (b Bounds) frozen(c int) bool { return b.LoX[c] > b.HiX[c] }
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Nesterov implements the accelerated gradient method with the
+// Barzilai-Borwein-style Lipschitz steplength prediction used by ePlace:
+// alpha_k = |v_k - v_{k-1}| / |g_k - g_{k-1}|, one gradient evaluation per
+// iteration. The first step moves the design by roughly InitMove.
+type Nesterov struct {
+	bounds Bounds
+	// u: major solution; v: lookahead (gradient point).
+	ux, uy, vx, vy []float64
+	pvx, pvy       []float64 // previous lookahead
+	pgx, pgy       []float64 // previous gradient
+	a              float64
+	iter           int
+	// InitMove is the target RMS displacement of the first step in design
+	// units.
+	InitMove float64
+}
+
+// NewNesterov creates a Nesterov optimizer starting from (x0, y0), which
+// are copied. initMove sets the first step's RMS displacement.
+func NewNesterov(x0, y0 []float64, bounds Bounds, initMove float64) *Nesterov {
+	n := len(x0)
+	o := &Nesterov{bounds: bounds, a: 1, InitMove: initMove}
+	o.ux = append(make([]float64, 0, n), x0...)
+	o.uy = append(make([]float64, 0, n), y0...)
+	o.vx = append(make([]float64, 0, n), x0...)
+	o.vy = append(make([]float64, 0, n), y0...)
+	o.pvx = make([]float64, n)
+	o.pvy = make([]float64, n)
+	o.pgx = make([]float64, n)
+	o.pgy = make([]float64, n)
+	return o
+}
+
+// Positions returns the lookahead point v.
+func (o *Nesterov) Positions() (x, y []float64) { return o.vx, o.vy }
+
+// Current returns the major solution u.
+func (o *Nesterov) Current() (x, y []float64) { return o.ux, o.uy }
+
+// Step advances u and v given the gradient at v.
+func (o *Nesterov) Step(e *kernel.Engine, gx, gy []float64) {
+	n := len(o.ux)
+	var alpha float64
+	if o.iter == 0 {
+		gn := rmsNorm(e, gx, gy)
+		if gn <= 0 {
+			gn = 1
+		}
+		alpha = o.InitMove / gn
+	} else {
+		num := distNorm(e, o.vx, o.vy, o.pvx, o.pvy)
+		den := distNorm(e, gx, gy, o.pgx, o.pgy)
+		if den <= 1e-30 {
+			den = 1e-30
+		}
+		alpha = num / den
+	}
+	aNew := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
+	coef := (o.a - 1) / aNew
+
+	// Save the lookahead and gradient for the next steplength prediction,
+	// then update u and v in one fused kernel (in-place, no autograd).
+	copy(o.pvx, o.vx)
+	copy(o.pvy, o.vy)
+	copy(o.pgx, gx)
+	copy(o.pgy, gy)
+	b := o.bounds
+	e.Launch("optim.nesterov_step", n, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if b.frozen(c) {
+				continue
+			}
+			newUx := clampTo(o.vx[c]-alpha*gx[c], b.LoX[c], b.HiX[c])
+			newUy := clampTo(o.vy[c]-alpha*gy[c], b.LoY[c], b.HiY[c])
+			o.vx[c] = clampTo(newUx+coef*(newUx-o.ux[c]), b.LoX[c], b.HiX[c])
+			o.vy[c] = clampTo(newUy+coef*(newUy-o.uy[c]), b.LoY[c], b.HiY[c])
+			o.ux[c] = newUx
+			o.uy[c] = newUy
+		}
+	})
+	o.a = aNew
+	o.iter++
+}
+
+// Adam implements the Adam optimizer over cell coordinates.
+type Adam struct {
+	bounds                Bounds
+	x, y                  []float64
+	mx, my, vxm, vym      []float64
+	LR, Beta1, Beta2, Eps float64
+	iter                  int
+	b1Pow, b2Pow          float64
+}
+
+// NewAdam creates an Adam optimizer starting from (x0, y0) (copied).
+func NewAdam(x0, y0 []float64, bounds Bounds, lr float64) *Adam {
+	n := len(x0)
+	return &Adam{
+		bounds: bounds,
+		x:      append(make([]float64, 0, n), x0...),
+		y:      append(make([]float64, 0, n), y0...),
+		mx:     make([]float64, n), my: make([]float64, n),
+		vxm: make([]float64, n), vym: make([]float64, n),
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		b1Pow: 1, b2Pow: 1,
+	}
+}
+
+// Positions returns the current iterate (Adam has no lookahead).
+func (o *Adam) Positions() (x, y []float64) { return o.x, o.y }
+
+// Current returns the current iterate.
+func (o *Adam) Current() (x, y []float64) { return o.x, o.y }
+
+// Step applies one Adam update.
+func (o *Adam) Step(e *kernel.Engine, gx, gy []float64) {
+	o.iter++
+	o.b1Pow *= o.Beta1
+	o.b2Pow *= o.Beta2
+	mc := 1 / (1 - o.b1Pow)
+	vc := 1 / (1 - o.b2Pow)
+	b := o.bounds
+	e.Launch("optim.adam_step", len(o.x), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if b.frozen(c) {
+				continue
+			}
+			o.mx[c] = o.Beta1*o.mx[c] + (1-o.Beta1)*gx[c]
+			o.my[c] = o.Beta1*o.my[c] + (1-o.Beta1)*gy[c]
+			o.vxm[c] = o.Beta2*o.vxm[c] + (1-o.Beta2)*gx[c]*gx[c]
+			o.vym[c] = o.Beta2*o.vym[c] + (1-o.Beta2)*gy[c]*gy[c]
+			o.x[c] = clampTo(o.x[c]-o.LR*(o.mx[c]*mc)/(math.Sqrt(o.vxm[c]*vc)+o.Eps), b.LoX[c], b.HiX[c])
+			o.y[c] = clampTo(o.y[c]-o.LR*(o.my[c]*mc)/(math.Sqrt(o.vym[c]*vc)+o.Eps), b.LoY[c], b.HiY[c])
+		}
+	})
+}
+
+// rmsNorm returns sqrt(mean(gx^2 + gy^2)) as one kernel.
+func rmsNorm(e *kernel.Engine, gx, gy []float64) float64 {
+	n := len(gx)
+	s := e.ParallelReduce("optim.rms", n, 0, func(lo, hi int) float64 {
+		var v float64
+		for i := lo; i < hi; i++ {
+			v += gx[i]*gx[i] + gy[i]*gy[i]
+		}
+		return v
+	}, func(a, b float64) float64 { return a + b })
+	return math.Sqrt(s / float64(2*n))
+}
+
+// distNorm returns the l2 distance between (ax,ay) and (bx,by).
+func distNorm(e *kernel.Engine, ax, ay, bx, by []float64) float64 {
+	n := len(ax)
+	s := e.ParallelReduce("optim.dist", n, 0, func(lo, hi int) float64 {
+		var v float64
+		for i := lo; i < hi; i++ {
+			dx := ax[i] - bx[i]
+			dy := ay[i] - by[i]
+			v += dx*dx + dy*dy
+		}
+		return v
+	}, func(a, b float64) float64 { return a + b })
+	return math.Sqrt(s)
+}
+
+// Preconditioner holds the diagonal entries of H_W (net degree) and H_D
+// (cell area) of §3.2 plus their l1 norms, fixed per design.
+type Preconditioner struct {
+	Deg    []float64 // |S_i|
+	Area   []float64 // A_i
+	SumDeg float64   // |H_W|
+	SumA   float64   // |H_D|
+}
+
+// NewPreconditioner builds the preconditioner diagonals for d. Areas are
+// normalized by the average movable cell area so lambda stays in a
+// comparable range across designs.
+func NewPreconditioner(d *netlist.Design) *Preconditioner {
+	n := d.NumCells()
+	p := &Preconditioner{Deg: make([]float64, n), Area: make([]float64, n)}
+	var movArea float64
+	var movCnt int
+	for c := 0; c < n; c++ {
+		if d.CellKind[c] == netlist.Movable {
+			movArea += d.CellW[c] * d.CellH[c]
+			movCnt++
+		}
+	}
+	avg := 1.0
+	if movCnt > 0 && movArea > 0 {
+		avg = movArea / float64(movCnt)
+	}
+	for c := 0; c < n; c++ {
+		p.Deg[c] = float64(d.CellNetDeg[c])
+		p.Area[c] = d.CellW[c] * d.CellH[c] / avg
+		if d.CellKind[c] != netlist.Fixed {
+			p.SumDeg += p.Deg[c]
+			p.SumA += p.Area[c]
+		}
+	}
+	return p
+}
+
+// Omega returns the precondition weighted ratio
+// omega = lambda*|H_D| / (|H_W| + lambda*|H_D|) in [0, 1] (§3.2) — the
+// placement-stage metric.
+func (p *Preconditioner) Omega(lambda float64) float64 {
+	den := p.SumDeg + lambda*p.SumA
+	if den <= 0 {
+		return 0
+	}
+	return lambda * p.SumA / den
+}
+
+// Apply divides the gradient by max(1, |S_i| + lambda*A_i) in place as one
+// kernel.
+func (p *Preconditioner) Apply(e *kernel.Engine, lambda float64, gx, gy []float64) {
+	e.Launch("optim.precondition", len(gx), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			h := p.Deg[c] + lambda*p.Area[c]
+			if h < 1 {
+				h = 1
+			}
+			gx[c] /= h
+			gy[c] /= h
+		}
+	})
+}

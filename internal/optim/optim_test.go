@@ -1,0 +1,269 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+func eng() *kernel.Engine { return kernel.New(kernel.Options{Workers: 2}) }
+
+// quadratic is a toy separable objective sum_i (x_i - tx_i)^2 + (y_i - ty_i)^2.
+type quadratic struct {
+	tx, ty []float64
+}
+
+func (q quadratic) grad(x, y []float64) (gx, gy []float64) {
+	gx = make([]float64, len(x))
+	gy = make([]float64, len(y))
+	for i := range x {
+		gx[i] = 2 * (x[i] - q.tx[i])
+		gy[i] = 2 * (y[i] - q.ty[i])
+	}
+	return
+}
+
+func (q quadratic) value(x, y []float64) float64 {
+	var v float64
+	for i := range x {
+		v += (x[i]-q.tx[i])*(x[i]-q.tx[i]) + (y[i]-q.ty[i])*(y[i]-q.ty[i])
+	}
+	return v
+}
+
+func openBounds(n int) Bounds {
+	b := Bounds{
+		LoX: make([]float64, n), HiX: make([]float64, n),
+		LoY: make([]float64, n), HiY: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		b.LoX[i], b.HiX[i] = -1e9, 1e9
+		b.LoY[i], b.HiY[i] = -1e9, 1e9
+	}
+	return b
+}
+
+func TestNesterovConvergesOnQuadratic(t *testing.T) {
+	e := eng()
+	n := 50
+	q := quadratic{tx: make([]float64, n), ty: make([]float64, n)}
+	x0 := make([]float64, n)
+	y0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q.tx[i] = float64(i)
+		q.ty[i] = -float64(i) / 2
+		x0[i] = 100
+		y0[i] = -100
+	}
+	o := NewNesterov(x0, y0, openBounds(n), 1.0)
+	for it := 0; it < 300; it++ {
+		vx, vy := o.Positions()
+		gx, gy := q.grad(vx, vy)
+		o.Step(e, gx, gy)
+	}
+	ux, uy := o.Current()
+	if v := q.value(ux, uy); v > 1e-3 {
+		t.Errorf("Nesterov did not converge: f = %v", v)
+	}
+}
+
+func TestNesterovBeatsPlainGradientDescent(t *testing.T) {
+	// On an ill-conditioned quadratic, Nesterov with BB steps should reach
+	// a much lower objective than fixed-step GD in the same iterations.
+	e := eng()
+	n := 2
+	// f = 100*(x0)^2 + (x1)^2 via scaling trick: fold into targets/grads.
+	scale := []float64{100, 1}
+	grad := func(x []float64) []float64 {
+		g := make([]float64, n)
+		for i := range x {
+			g[i] = 2 * scale[i] * x[i]
+		}
+		return g
+	}
+	val := func(x []float64) float64 {
+		var v float64
+		for i := range x {
+			v += scale[i] * x[i] * x[i]
+		}
+		return v
+	}
+	x0 := []float64{10, 10}
+	zero := make([]float64, n)
+
+	o := NewNesterov(x0, zero, openBounds(n), 0.5)
+	for it := 0; it < 100; it++ {
+		vx, _ := o.Positions()
+		o.Step(e, grad(vx), make([]float64, n))
+	}
+	ux, _ := o.Current()
+	nesterovVal := val(ux)
+
+	// Plain GD with the largest stable fixed step (1/L, L=200).
+	x := append([]float64(nil), x0...)
+	for it := 0; it < 100; it++ {
+		g := grad(x)
+		for i := range x {
+			x[i] -= g[i] / 200
+		}
+	}
+	gdVal := val(x)
+	if nesterovVal > gdVal {
+		t.Errorf("Nesterov %v worse than GD %v", nesterovVal, gdVal)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	e := eng()
+	n := 20
+	q := quadratic{tx: make([]float64, n), ty: make([]float64, n)}
+	x0 := make([]float64, n)
+	y0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		q.tx[i] = 3
+		q.ty[i] = -2
+	}
+	o := NewAdam(x0, y0, openBounds(n), 0.1)
+	for it := 0; it < 2000; it++ {
+		x, y := o.Positions()
+		gx, gy := q.grad(x, y)
+		o.Step(e, gx, gy)
+	}
+	x, y := o.Current()
+	if v := q.value(x, y); v > 1e-4 {
+		t.Errorf("Adam did not converge: f = %v", v)
+	}
+}
+
+func TestBoundsClampAndFreeze(t *testing.T) {
+	e := eng()
+	n := 2
+	b := openBounds(n)
+	b.LoX[0], b.HiX[0] = 0, 5  // clamped cell
+	b.LoX[1], b.HiX[1] = 1, -1 // frozen cell
+	b.LoY[1], b.HiY[1] = 1, -1
+	x0 := []float64{4, 7}
+	y0 := []float64{0, 7}
+	o := NewNesterov(x0, y0, b, 10)
+	// Strong gradient pushing +x: positions must not exceed HiX / move frozen.
+	for it := 0; it < 5; it++ {
+		gx := []float64{-100, -100}
+		gy := []float64{0, -100}
+		o.Step(e, gx, gy)
+	}
+	ux, uy := o.Current()
+	if ux[0] > 5+1e-12 {
+		t.Errorf("cell 0 exceeded bound: %v", ux[0])
+	}
+	if ux[1] != 7 || uy[1] != 7 {
+		t.Errorf("frozen cell moved to %v,%v", ux[1], uy[1])
+	}
+}
+
+func TestNewBoundsFromDesign(t *testing.T) {
+	d := netlist.NewDesign("b", geom.Rect{Hx: 100, Hy: 50})
+	m := d.AddCell("m", 10, 4, 50, 25, netlist.Movable)
+	f := d.AddCell("f", 10, 10, 20, 20, netlist.Fixed)
+	wide := d.AddCell("w", 300, 4, 50, 25, netlist.Movable) // wider than region
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBounds(d)
+	if b.LoX[m] != 5 || b.HiX[m] != 95 || b.LoY[m] != 2 || b.HiY[m] != 48 {
+		t.Errorf("movable bounds = %v %v %v %v", b.LoX[m], b.HiX[m], b.LoY[m], b.HiY[m])
+	}
+	if !b.frozen(f) {
+		t.Error("fixed cell should be frozen")
+	}
+	if b.LoX[wide] != 50 || b.HiX[wide] != 50 {
+		t.Errorf("over-wide cell should pin to center, got %v..%v", b.LoX[wide], b.HiX[wide])
+	}
+}
+
+func TestPreconditioner(t *testing.T) {
+	d := netlist.NewDesign("p", geom.Rect{Hx: 100, Hy: 100})
+	a := d.AddCell("a", 2, 2, 10, 10, netlist.Movable) // area 4
+	b := d.AddCell("b", 4, 4, 20, 20, netlist.Movable) // area 16
+	d.AddNet("n1")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	d.AddNet("n2")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPreconditioner(d)
+	// avg movable area = 10; normalized areas 0.4 and 1.6; degrees 2, 2.
+	if math.Abs(p.Area[a]-0.4) > 1e-12 || math.Abs(p.Area[b]-1.6) > 1e-12 {
+		t.Errorf("areas = %v %v", p.Area[a], p.Area[b])
+	}
+	if p.Deg[a] != 2 || p.Deg[b] != 2 {
+		t.Errorf("degrees = %v %v", p.Deg[a], p.Deg[b])
+	}
+
+	e := eng()
+	gx := []float64{8, 8}
+	gy := []float64{8, 8}
+	lambda := 10.0
+	p.Apply(e, lambda, gx, gy)
+	// h_a = 2 + 10*0.4 = 6; h_b = 2 + 10*1.6 = 18.
+	if math.Abs(gx[a]-8.0/6) > 1e-12 || math.Abs(gx[b]-8.0/18) > 1e-12 {
+		t.Errorf("preconditioned = %v", gx)
+	}
+	_ = gy
+}
+
+func TestPreconditionerFloorAtOne(t *testing.T) {
+	d := netlist.NewDesign("f", geom.Rect{Hx: 10, Hy: 10})
+	a := d.AddCell("a", 0.1, 0.1, 5, 5, netlist.Movable) // tiny area, no nets
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPreconditioner(d)
+	e := eng()
+	gx := []float64{4}
+	gy := []float64{4}
+	p.Apply(e, 0.0001, gx, gy)
+	if gx[a] != 4 {
+		t.Errorf("floor should keep gradient unchanged, got %v", gx[a])
+	}
+}
+
+func TestOmegaMonotoneInLambda(t *testing.T) {
+	d := netlist.NewDesign("o", geom.Rect{Hx: 10, Hy: 10})
+	a := d.AddCell("a", 1, 1, 5, 5, netlist.Movable)
+	b := d.AddCell("b", 1, 1, 6, 6, netlist.Movable)
+	d.AddNet("n")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPreconditioner(d)
+	prev := -1.0
+	for _, l := range []float64{0, 0.001, 0.1, 1, 10, 1e4} {
+		w := p.Omega(l)
+		if w < prev {
+			t.Errorf("omega not monotone at lambda=%v: %v < %v", l, w, prev)
+		}
+		if w < 0 || w > 1 {
+			t.Errorf("omega out of range: %v", w)
+		}
+		prev = w
+	}
+	if p.Omega(0) != 0 {
+		t.Error("omega(0) should be 0")
+	}
+	if p.Omega(1e12) < 0.999 {
+		t.Error("omega should approach 1 for huge lambda")
+	}
+}
+
+func TestOptimizerInterfaces(t *testing.T) {
+	var _ Optimizer = (*Nesterov)(nil)
+	var _ Optimizer = (*Adam)(nil)
+}

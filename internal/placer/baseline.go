@@ -1,0 +1,73 @@
+package placer
+
+import (
+	"time"
+
+	"xplace/internal/field"
+	"xplace/internal/metrics"
+	"xplace/internal/wirelength"
+)
+
+// iterateBaseline runs one GP iteration the DREAMPlace way: autograd
+// gradients (see autogradGradient), density recomputed naively for the
+// overflow ratio, immediate per-metric syncs, per-iteration parameter
+// updates, and — as in DREAMPlace's ePlace-style Nesterov — one extra
+// forward objective evaluation per iteration for the steplength
+// line-search check.
+func (p *Placer) iterateBaseline() error {
+	e := p.eng
+	d := p.d
+	wallStart := time.Now()
+	simStart := e.Stats().Simulated
+
+	vx, vy := p.opt.Positions()
+	gamma := p.schd.Gamma
+	wa := p.autogradGradient(vx, vy, gamma, p.schd.Lambda)
+	lambda := p.schd.Lambda
+
+	if p.opts.ExtraGradient != nil {
+		p.opts.ExtraGradient(p.iter, vx, vy, p.gX, p.gY)
+	}
+	p.pre.Apply(e, lambda, p.gX, p.gY)
+	p.opt.Step(e, p.gX, p.gY)
+
+	// ePlace Nesterov line-search bookkeeping: one extra forward objective
+	// evaluation at the new lookahead point.
+	nvx, nvy := p.opt.Positions()
+	_ = wirelength.WAForward(e, d, nvx, nvy, gamma)
+	p.sys.ScatterDensity(e, d, nvx, nvy, field.MaskAll, p.sys.Total, "density.total_ls")
+	_ = p.sys.SolvePoisson(e)
+
+	// Exact HPWL and overflow as separate operators (no fusion, no
+	// extraction: the cell map is scattered from scratch).
+	hpwl := wirelength.HPWL(e, d, vx, vy)
+	p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells_ovfl")
+	p.lastOverflow = p.sys.Overflow(e, d, p.sys.D, p.opts.TargetDensity)
+
+	nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
+	if nWL > 0 {
+		p.lastR = lambda * nD / nWL
+	}
+
+	// Immediate per-metric host syncs (the un-reordered path).
+	e.Sync()
+	e.Sync()
+	rec := metrics.Record{
+		Iter:     p.iter,
+		HPWL:     hpwl,
+		WA:       wa,
+		Energy:   p.lastEnergy,
+		Overflow: p.lastOverflow,
+		Gamma:    gamma,
+		Lambda:   lambda,
+		Omega:    p.schd.Omega(),
+		R:        p.lastR,
+		WallTime: time.Since(wallStart),
+	}
+	rec.SimTime = e.Stats().Simulated - simStart
+	p.rec.Add(rec)
+
+	p.schd.Advance(hpwl, p.lastOverflow)
+	p.iter++
+	return nil
+}

@@ -1,0 +1,421 @@
+// Package placer is the paper's primary contribution: the Xplace global
+// placement core engine (Figure 1). It wires the gradient engine
+// (wirelength + electrostatic density operators), the optimizer, the
+// evaluator/recorder and the scheduler into the GP loop, with every
+// operator-level optimization of §3.1 individually toggleable:
+//
+//   - OperatorReduction (OR):   hand-derived gradients on the fast path vs
+//     the autograd-driven baseline loop, in-place updates, deferred syncs.
+//   - OperatorCombination (OC): WA wirelength + WA gradient + HPWL fused
+//     into one kernel.
+//   - OperatorExtraction (OE):  cell density map computed once and reused
+//     for the total map and the overflow ratio.
+//   - OperatorSkipping (OS):    early-stage density gradient reuse.
+//
+// Mode selects between the Xplace fast path and a DREAMPlace-style
+// baseline that builds the loss with the mini autograd library and calls
+// Backward every iteration — the comparator of Tables 2-4.
+package placer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"xplace/internal/field"
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/metrics"
+	"xplace/internal/netlist"
+	"xplace/internal/optim"
+	"xplace/internal/sched"
+)
+
+// Mode selects the gradient-engine implementation.
+type Mode int
+
+const (
+	// ModeXplace is the paper's fast path: numerical gradients, fused
+	// operators, no autograd.
+	ModeXplace Mode = iota
+	// ModeBaseline is the DREAMPlace-style comparator: the loss is built
+	// from autograd operators and differentiated by Backward each
+	// iteration.
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	if m == ModeBaseline {
+		return "baseline"
+	}
+	return "xplace"
+}
+
+// FieldPredictor is the neural extension hook (§3.3): given the total
+// density map it predicts the electric field. The placer blends the
+// prediction with the numerical field by sigma(omega) (Eq. 14).
+type FieldPredictor interface {
+	PredictField(density []float64, nx, ny int, exOut, eyOut []float64)
+}
+
+// WirelengthModel selects the smoothed-wirelength gradient function —
+// the swappable gradient-engine module of Figure 1.
+type WirelengthModel int
+
+const (
+	// WLWeightedAverage is the WA model of Eq. 4/6 (the paper's choice).
+	WLWeightedAverage WirelengthModel = iota
+	// WLLogSumExp is the classic LSE model (NTUPlace3 / original ePlace).
+	WLLogSumExp
+)
+
+// OptimizerKind selects the optimization module.
+type OptimizerKind int
+
+const (
+	// OptNesterov is the ePlace Nesterov method (default).
+	OptNesterov OptimizerKind = iota
+	// OptAdam is plain Adam.
+	OptAdam
+)
+
+// Options configures a Placer. The zero value (plus defaults) runs the
+// full Xplace configuration.
+type Options struct {
+	Mode Mode
+	// Operator-level optimization toggles (§3.1). All default to on for
+	// ModeXplace via Defaults; ModeBaseline ignores them (it is the
+	// everything-off comparator).
+	OperatorCombination bool
+	OperatorExtraction  bool
+	OperatorReduction   bool
+	OperatorSkipping    bool
+
+	// GridSize is the density grid dimension M (power of two). 0 picks
+	// automatically from the cell count.
+	GridSize int
+	// TargetDensity is the bin density constraint D_t (default 1.0).
+	TargetDensity float64
+	// Seed drives the random initial placement spread.
+	Seed int64
+	// Optimizer selects the optimization module.
+	Optimizer OptimizerKind
+	// Wirelength selects the smoothed wirelength model (default WA).
+	Wirelength WirelengthModel
+	// AdamLR is the Adam learning rate when Optimizer == OptAdam
+	// (default: one bin dimension).
+	AdamLR float64
+	// Sched configures parameter scheduling; Sched.StageAware and
+	// Sched.SkipEnabled are overwritten from the toggles above.
+	Sched sched.Options
+	// Predictor, when non-nil, enables the Xplace-NN extension.
+	Predictor FieldPredictor
+	// ExtraGradient, when non-nil, is called after the numerical gradient
+	// is assembled and may add a user-defined term (the Figure 2(b)
+	// extension path). Arguments are the lookahead positions and the
+	// gradient accumulators, indexed by cell of the augmented design.
+	ExtraGradient func(iter int, x, y, gx, gy []float64)
+}
+
+// Defaults returns the paper's full Xplace configuration.
+func Defaults() Options {
+	return Options{
+		Mode:                ModeXplace,
+		OperatorCombination: true,
+		OperatorExtraction:  true,
+		OperatorReduction:   true,
+		OperatorSkipping:    true,
+		TargetDensity:       1.0,
+		Sched:               sched.Options{StageAware: true},
+	}
+}
+
+// BaselineDefaults returns the DREAMPlace-style comparator configuration.
+func BaselineDefaults() Options {
+	o := Defaults()
+	o.Mode = ModeBaseline
+	o.OperatorCombination = false
+	o.OperatorExtraction = false
+	o.OperatorReduction = false
+	o.OperatorSkipping = false
+	o.Sched.StageAware = false
+	return o
+}
+
+// Result is the outcome of a global placement run. X and Y are cell-center
+// coordinates indexed by the ORIGINAL design's cell ids (fillers are
+// stripped).
+type Result struct {
+	X, Y       []float64
+	HPWL       float64
+	Overflow   float64
+	Iterations int
+	WallTime   time.Duration
+	SimTime    time.Duration // wall compute + simulated kernel-launch cost
+	Stats      kernel.Stats
+	Recorder   *metrics.Recorder
+}
+
+// Placer runs global placement for one design on one engine.
+type Placer struct {
+	opts Options
+	eng  *kernel.Engine
+	orig *netlist.Design
+	d    *netlist.Design // augmented with fillers
+	sys  *field.System
+	pre  *optim.Preconditioner
+	schd *sched.Scheduler
+	opt  optim.Optimizer
+	rec  *metrics.Recorder
+
+	// Gradient buffers (cell-indexed over the augmented design).
+	pinGX, pinGY   []float64
+	wlGX, wlGY     []float64
+	dGX, dGY       []float64
+	gX, gY         []float64
+	exBlend        []float64 // NN-blended field scratch
+	eyBlend        []float64
+	lastOverflow   float64
+	lastEnergy     float64
+	lastR          float64
+	lambdaInit     bool
+	iter           int
+	denseFromCache bool
+}
+
+// New prepares a placer: augments the design with filler cells, builds the
+// electrostatic system, preconditioner, scheduler and optimizer.
+func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
+	if !d.Finished() {
+		return nil, errors.New("placer: design must be finished")
+	}
+	if opts.TargetDensity <= 0 {
+		opts.TargetDensity = 1.0
+	}
+	if opts.Mode == ModeBaseline {
+		// The baseline is the everything-off configuration by definition.
+		opts.OperatorCombination = false
+		opts.OperatorExtraction = false
+		opts.OperatorReduction = false
+		opts.OperatorSkipping = false
+		opts.Sched.StageAware = false
+	}
+	opts.Sched.SkipEnabled = opts.OperatorSkipping
+
+	aug := d.Clone()
+	aug.AddFillers(opts.TargetDensity)
+	if err := aug.Finish(); err != nil {
+		return nil, fmt.Errorf("placer: augmenting design: %w", err)
+	}
+
+	m := opts.GridSize
+	if m == 0 {
+		m = autoGridSize(aug.NumCells())
+	}
+	if m&(m-1) != 0 || m <= 0 {
+		return nil, fmt.Errorf("placer: grid size %d must be a power of two", m)
+	}
+	grid := geom.NewGrid(d.Region, m, m)
+	sys := field.NewSystem(grid, e)
+	pre := optim.NewPreconditioner(aug)
+	binSize := math.Sqrt(grid.Dx * grid.Dy)
+	// The gamma schedule is calibrated in "reference bin" units: the die
+	// split 512 ways, the grid regime the ePlace/DREAMPlace constants were
+	// tuned for. Using the actual (possibly much coarser) bin size would
+	// make gamma comparable to the die and collapse the design.
+	gammaRef := math.Sqrt(d.Region.W()*d.Region.H()) / 512
+	schd := sched.New(opts.Sched, gammaRef, pre.Omega)
+
+	p := &Placer{
+		opts: opts, eng: e, orig: d, d: aug,
+		sys: sys, pre: pre, schd: schd,
+		rec: &metrics.Recorder{},
+	}
+	n := aug.NumCells()
+	p.pinGX = make([]float64, aug.NumPins())
+	p.pinGY = make([]float64, aug.NumPins())
+	p.wlGX = make([]float64, n)
+	p.wlGY = make([]float64, n)
+	p.dGX = make([]float64, n)
+	p.dGY = make([]float64, n)
+	p.gX = make([]float64, n)
+	p.gY = make([]float64, n)
+	if opts.Predictor != nil {
+		p.exBlend = make([]float64, m*m)
+		p.eyBlend = make([]float64, m*m)
+	}
+
+	x0, y0 := initialPositions(aug, opts.Seed)
+	bounds := optim.NewBounds(aug)
+	switch opts.Optimizer {
+	case OptAdam:
+		lr := opts.AdamLR
+		if lr == 0 {
+			lr = binSize
+		}
+		p.opt = optim.NewAdam(x0, y0, bounds, lr)
+	default:
+		p.opt = optim.NewNesterov(x0, y0, bounds, binSize)
+	}
+	return p, nil
+}
+
+// autoGridSize picks the density grid dimension: roughly sqrt(numCells)
+// rounded to a power of two, clamped to [32, 1024].
+func autoGridSize(cells int) int {
+	target := int(math.Sqrt(float64(cells)))
+	m := 32
+	for m < target && m < 1024 {
+		m <<= 1
+	}
+	return m
+}
+
+// initialPositions prepares the starting state. If the design already
+// provides a spread placement for its movable cells (ISPD inputs do), it
+// is kept — the warm-start lambda schedule assumes a spread start. A
+// degenerate input (all movable cells clustered within 2% of the die) is
+// replaced by a seeded uniform spread over the region.
+func initialPositions(d *netlist.Design, seed int64) (x, y []float64) {
+	n := d.NumCells()
+	x = append(make([]float64, 0, n), d.CellX...)
+	y = append(make([]float64, 0, n), d.CellY...)
+	var mx, my, sx, sy float64
+	nm := 0
+	for c := 0; c < n; c++ {
+		if d.CellKind[c] == netlist.Movable {
+			mx += x[c]
+			my += y[c]
+			nm++
+		}
+	}
+	if nm == 0 {
+		return x, y
+	}
+	mx /= float64(nm)
+	my /= float64(nm)
+	for c := 0; c < n; c++ {
+		if d.CellKind[c] == netlist.Movable {
+			sx += (x[c] - mx) * (x[c] - mx)
+			sy += (y[c] - my) * (y[c] - my)
+		}
+	}
+	sx = math.Sqrt(sx / float64(nm))
+	sy = math.Sqrt(sy / float64(nm))
+	if sx > 0.02*d.Region.W() || sy > 0.02*d.Region.H() {
+		return x, y // already spread
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for c := 0; c < n; c++ {
+		if d.CellKind[c] == netlist.Movable {
+			x[c] = d.Region.Lx + rng.Float64()*d.Region.W()
+			y[c] = d.Region.Ly + rng.Float64()*d.Region.H()
+		}
+	}
+	return x, y
+}
+
+// Design returns the augmented design the placer operates on (fillers
+// included) — useful for extension hooks.
+func (p *Placer) Design() *netlist.Design { return p.d }
+
+// Recorder returns the metrics recorder.
+func (p *Placer) Recorder() *metrics.Recorder { return p.rec }
+
+// Scheduler exposes the parameter scheduler (for inspection in tests and
+// experiment harnesses).
+func (p *Placer) Scheduler() *sched.Scheduler { return p.schd }
+
+// Run executes the GP loop to convergence and returns the result mapped
+// back to the original design's cells.
+func (p *Placer) Run() (*Result, error) {
+	start := time.Now()
+	p.eng.Reset()
+	for {
+		if err := p.RunIteration(); err != nil {
+			return nil, err
+		}
+		if p.schd.Done(p.lastOverflow) {
+			break
+		}
+	}
+	return p.finalize(start), nil
+}
+
+// RunIterations executes exactly n GP iterations (for per-iteration timing
+// experiments) and returns the result so far.
+func (p *Placer) RunIterations(n int) (*Result, error) {
+	start := time.Now()
+	p.eng.Reset()
+	for i := 0; i < n; i++ {
+		if err := p.RunIteration(); err != nil {
+			return nil, err
+		}
+	}
+	return p.finalize(start), nil
+}
+
+// RunIteration executes a single GP iteration.
+func (p *Placer) RunIteration() error {
+	if p.opts.Mode == ModeBaseline {
+		return p.iterateBaseline()
+	}
+	return p.iterateXplace()
+}
+
+func (p *Placer) finalize(start time.Time) *Result {
+	ux, uy := p.opt.Current()
+	n := p.orig.NumCells()
+	res := &Result{
+		X:          append(make([]float64, 0, n), ux[:n]...),
+		Y:          append(make([]float64, 0, n), uy[:n]...),
+		Overflow:   p.lastOverflow,
+		Iterations: p.iter,
+		WallTime:   time.Since(start),
+		Recorder:   p.rec,
+		Stats:      p.eng.Stats(),
+	}
+	res.SimTime = res.Stats.Simulated
+	res.HPWL = p.orig.HPWL(res.X, res.Y)
+	return res
+}
+
+// l1Norms computes sum|ax|+|ay| over all cells for two gradient pairs in
+// one kernel (used for the r ratio and lambda initialization).
+func (p *Placer) l1Norms(ax, ay, bx, by []float64) (na, nb float64) {
+	nw := p.eng.Workers()
+	pa := make([]float64, nw)
+	pb := make([]float64, nw)
+	p.eng.LaunchChunks("placer.grad_norms", len(ax), func(w, lo, hi int) {
+		var sa, sb float64
+		for i := lo; i < hi; i++ {
+			sa += math.Abs(ax[i]) + math.Abs(ay[i])
+			sb += math.Abs(bx[i]) + math.Abs(by[i])
+		}
+		pa[w] += sa
+		pb[w] += sb
+	})
+	for w := 0; w < nw; w++ {
+		na += pa[w]
+		nb += pb[w]
+	}
+	return na, nb
+}
+
+// sigmaBlend is the sigma(omega) weighting of Eq. 14 that hands the early
+// placement stage (small omega) to the neural field and fades it out as
+// omega grows so the numerical gradient drives fine-grained spreading.
+//
+// The formula as printed in the paper, 1 - 1/(1 - 5e^(omega/0.05 - 0.5)),
+// stays >= 1 for all omega and never decays, contradicting the
+// surrounding text ("when sigma drops, grad D takes effect"); the evident
+// intent is the decreasing logistic gate with the same constants:
+//
+//	sigma(omega) = 1 - 1/(1 + 5*e^(0.5 - omega/0.05))
+//
+// which starts near 0.9 at omega=0 and falls below 0.05 past omega~0.25.
+func sigmaBlend(omega float64) float64 {
+	return 1 - 1/(1+5*math.Exp(0.5-omega/0.05))
+}

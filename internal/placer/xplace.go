@@ -1,0 +1,167 @@
+package placer
+
+import (
+	"time"
+
+	"xplace/internal/field"
+	"xplace/internal/metrics"
+	"xplace/internal/wirelength"
+)
+
+// iterateXplace runs one GP iteration of the Xplace framework with the
+// operator-level optimizations of §3.1 applied per the option toggles:
+//
+//   - OperatorReduction on: hand-derived numerical gradients assembled by
+//     fused kernels, in-place optimizer updates, deferred metric syncs.
+//     Off: gradients via the autograd engine (twice the small-kernel
+//     launches), immediate syncs — the ablation's "none" starting point.
+//   - OperatorCombination fuses WA wirelength + gradient + HPWL into one
+//     kernel (only meaningful on the numerical path).
+//   - OperatorExtraction computes the cell density map once for both the
+//     total map and the overflow ratio.
+//   - OperatorSkipping reuses the cached density gradient early on.
+func (p *Placer) iterateXplace() error {
+	e := p.eng
+	d := p.d
+	wallStart := time.Now()
+	simStart := e.Stats().Simulated
+
+	vx, vy := p.opt.Positions()
+	gamma := p.schd.Gamma
+
+	var wa, hpwl float64
+	if p.opts.OperatorReduction {
+		// --- Numerical gradient path (OR on) --------------------------
+
+		// Wirelength operators (model selected by Options.Wirelength).
+		fused, grad := wirelength.Fused, wirelength.WAGrad
+		if p.opts.Wirelength == WLLogSumExp {
+			fused, grad = wirelength.FusedLSE, wirelength.LSEGrad
+		}
+		if p.opts.OperatorCombination {
+			// OC: smoothed wirelength + gradient + HPWL in one kernel.
+			res := fused(e, d, vx, vy, gamma, p.pinGX, p.pinGY)
+			wa, hpwl = res.WA, res.HPWL
+		} else {
+			wa = grad(e, d, vx, vy, gamma, p.pinGX, p.pinGY)
+			hpwl = wirelength.HPWL(e, d, vx, vy)
+		}
+		wirelength.PinToCellGrad(e, d, p.pinGX, p.pinGY, p.wlGX, p.wlGY)
+
+		// Density operators (possibly skipped, §3.1.4).
+		skip := p.schd.ShouldSkipDensity(p.lastR) && p.iter > 0
+		if !skip {
+			p.computeDensity(vx, vy)
+		}
+
+		// Gradient assembly.
+		if !p.lambdaInit {
+			nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
+			p.schd.InitLambda(nWL, nD)
+			p.lambdaInit = true
+		}
+		lambda := p.schd.Lambda
+		e.Launch("placer.combine_grad", len(p.gX), func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				p.gX[c] = p.wlGX[c] + lambda*p.dGX[c]
+				p.gY[c] = p.wlGY[c] + lambda*p.dGY[c]
+			}
+		})
+		if !skip {
+			nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
+			if nWL > 0 {
+				p.lastR = lambda * nD / nWL
+			}
+		}
+	} else {
+		// --- Autograd path (OR off) -----------------------------------
+		wa = p.autogradGradient(vx, vy, gamma, p.schd.Lambda)
+		hpwl = wirelength.HPWL(e, d, vx, vy)
+		// Overflow needs the cell map; without extraction it is scattered
+		// from scratch.
+		p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells_ovfl")
+		p.lastOverflow = p.sys.Overflow(e, d, p.sys.D, p.opts.TargetDensity)
+		nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
+		if nWL > 0 {
+			p.lastR = p.schd.Lambda * nD / nWL
+		}
+	}
+
+	if p.opts.ExtraGradient != nil {
+		p.opts.ExtraGradient(p.iter, vx, vy, p.gX, p.gY)
+	}
+	lambda := p.schd.Lambda
+	p.pre.Apply(e, lambda, p.gX, p.gY)
+	p.opt.Step(e, p.gX, p.gY)
+
+	rec := metrics.Record{
+		Iter:     p.iter,
+		HPWL:     hpwl,
+		WA:       wa,
+		Energy:   p.lastEnergy,
+		Overflow: p.lastOverflow,
+		Gamma:    gamma,
+		Lambda:   lambda,
+		Omega:    p.schd.Omega(),
+		R:        p.lastR,
+	}
+	if p.opts.OperatorReduction {
+		// OR: the metric copy-back is a host sync; defer it to the end of
+		// the iteration (§3.1.3 sync reordering).
+		e.DeferSync("placer.record", func() {
+			rec.WallTime = time.Since(wallStart)
+			rec.SimTime = e.Stats().Simulated - simStart
+			p.rec.Add(rec)
+		})
+		e.Flush()
+	} else {
+		// Immediate per-metric syncs.
+		e.Sync()
+		e.Sync()
+		rec.WallTime = time.Since(wallStart)
+		rec.SimTime = e.Stats().Simulated - simStart
+		p.rec.Add(rec)
+	}
+
+	p.schd.Advance(hpwl, p.lastOverflow)
+	p.iter++
+	return nil
+}
+
+// computeDensity evaluates the full electrostatic system at (vx, vy):
+// density maps (extracted or naive per the OE toggle), overflow, Poisson
+// solve, optional neural blending, and the field gather into p.dGX/p.dGY.
+func (p *Placer) computeDensity(vx, vy []float64) {
+	e := p.eng
+	d := p.d
+	if p.opts.OperatorExtraction {
+		// OE (§3.1.2, Figure 2a): D once, D_fl once, cheap add, OVFL
+		// reuses D.
+		p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells")
+		p.sys.ScatterDensity(e, d, vx, vy, field.MaskFiller, p.sys.Dfl, "density.fillers")
+		p.sys.AddMaps(e, p.sys.D, p.sys.Dfl, p.sys.Total)
+	} else {
+		// Naive: total map in one pass, then a second full scatter of
+		// the non-filler cells just for the overflow ratio.
+		p.sys.ScatterDensity(e, d, vx, vy, field.MaskAll, p.sys.Total, "density.total")
+		p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells_ovfl")
+	}
+	p.lastOverflow = p.sys.Overflow(e, d, p.sys.D, p.opts.TargetDensity)
+	p.lastEnergy = p.sys.SolvePoisson(e)
+
+	// Neural extension (§3.3): blend the predicted field into the
+	// numerical one with sigma(omega) before gathering.
+	if p.opts.Predictor != nil {
+		sigma := sigmaBlend(p.schd.Omega())
+		if sigma > 1e-3 {
+			p.opts.Predictor.PredictField(p.sys.Total, p.sys.Nx, p.sys.Ny, p.exBlend, p.eyBlend)
+			e.Launch("nn.blend_field", len(p.sys.Ex), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					p.sys.Ex[i] = (1-sigma)*p.sys.Ex[i] + sigma*p.exBlend[i]
+					p.sys.Ey[i] = (1-sigma)*p.sys.Ey[i] + sigma*p.eyBlend[i]
+				}
+			})
+		}
+	}
+	p.sys.GatherField(e, d, vx, vy, field.MaskPlaceable, p.dGX, p.dGY)
+}

@@ -1,0 +1,368 @@
+// Package router is a light global router used to score the
+// detailed-routability of a placement — the reproduction's substitute for
+// the NCTUgr evaluation of Table 4. Nets are decomposed into 2-pin
+// segments by a Prim spanning tree, routed sequentially as L-shapes (with
+// a Z-shape escape during rip-up-and-reroute) over a gcell edge-capacity
+// grid, picking the less congested bend greedily.
+//
+// The reported OVFL-5 metric is the paper's "top5 overflow": the average
+// overflow of the top 5% most congested gcells.
+package router
+
+import (
+	"math"
+	"sort"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+// Options configures the router.
+type Options struct {
+	// Grid is the gcell grid dimension per axis (default 64).
+	Grid int
+	// Capacity is the routing capacity of one gcell edge in tracks
+	// (default 12 horizontal and vertical alike).
+	Capacity float64
+	// RipUpPasses is the number of rip-up-and-reroute passes over
+	// segments crossing overflowed edges (default 2).
+	RipUpPasses int
+	// MaxTreePins caps the Prim decomposition cost for huge nets; nets
+	// with more pins are decomposed as a star around the first pin
+	// (default 32).
+	MaxTreePins int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Grid == 0 {
+		o.Grid = 64
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 12
+	}
+	if o.RipUpPasses == 0 {
+		o.RipUpPasses = 2
+	}
+	if o.MaxTreePins == 0 {
+		o.MaxTreePins = 32
+	}
+	return o
+}
+
+// Result holds the routing congestion outcome.
+type Result struct {
+	Grid geom.Grid
+	// HUsage[y*Nx+x] is the usage of the horizontal edge from gcell
+	// (x,y) to (x+1,y); the last column is unused. VUsage likewise for
+	// vertical edges.
+	HUsage, VUsage []float64
+	Capacity       float64
+	// GCellOverflow[y*Nx+x] is the total edge overflow charged to the
+	// gcell.
+	GCellOverflow []float64
+	// Top5Overflow is the average overflow of the 5% most congested
+	// gcells (the paper's OVFL-5).
+	Top5Overflow float64
+	// TotalOverflow sums all edge overflow.
+	TotalOverflow float64
+	// WirelengthGCells is the total routed length in gcell steps.
+	WirelengthGCells int
+}
+
+type segment struct {
+	x1, y1, x2, y2 int // gcell coords
+	hvFirst        bool
+	zBend          int // -1: plain L; otherwise the bend coordinate of a Z route
+}
+
+type router struct {
+	opts   Options
+	grid   geom.Grid
+	nx, ny int
+	hUse   []float64
+	vUse   []float64
+	segs   []segment
+}
+
+// Route routes design d at positions (x, y) (nil means stored positions)
+// and returns the congestion result.
+func Route(d *netlist.Design, x, y []float64, opts Options) *Result {
+	o := opts.withDefaults()
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	grid := geom.NewGrid(d.Region, o.Grid, o.Grid)
+	r := &router{
+		opts: o, grid: grid, nx: o.Grid, ny: o.Grid,
+		hUse: make([]float64, o.Grid*o.Grid),
+		vUse: make([]float64, o.Grid*o.Grid),
+	}
+
+	// Decompose nets into 2-pin gcell segments.
+	for n := 0; n < d.NumNets(); n++ {
+		s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+		if e-s < 2 {
+			continue
+		}
+		pts := make([][2]int, 0, e-s)
+		for p := s; p < e; p++ {
+			c := d.PinCell[p]
+			ix, iy := grid.BinCoords(geom.Point{X: x[c] + d.PinOffX[p], Y: y[c] + d.PinOffY[p]})
+			pts = append(pts, [2]int{ix, iy})
+		}
+		r.decompose(pts)
+	}
+
+	// Initial greedy routing.
+	for i := range r.segs {
+		r.routeSeg(&r.segs[i], true)
+	}
+	// Rip-up and reroute segments over congested edges.
+	for pass := 0; pass < o.RipUpPasses; pass++ {
+		changed := false
+		for i := range r.segs {
+			sg := &r.segs[i]
+			if r.segOverflow(sg) == 0 {
+				continue
+			}
+			r.applySeg(sg, -1)
+			r.routeSeg(sg, true)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return r.result()
+}
+
+// decompose appends the 2-pin segments of one net's pin set: Prim MST for
+// small nets, a star for large ones.
+func (r *router) decompose(pts [][2]int) {
+	// Dedupe gcells.
+	seen := map[[2]int]bool{}
+	uniq := pts[:0]
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) < 2 {
+		return
+	}
+	add := func(a, b [2]int) {
+		if a == b {
+			return
+		}
+		r.segs = append(r.segs, segment{x1: a[0], y1: a[1], x2: b[0], y2: b[1], zBend: -1})
+	}
+	if len(uniq) > r.opts.MaxTreePins {
+		for i := 1; i < len(uniq); i++ {
+			add(uniq[0], uniq[i])
+		}
+		return
+	}
+	// Prim MST under Manhattan distance.
+	n := len(uniq)
+	inTree := make([]bool, n)
+	dist := make([]int, n)
+	parent := make([]int, n)
+	for i := range dist {
+		dist[i] = math.MaxInt32
+	}
+	dist[0] = 0
+	parent[0] = -1
+	for it := 0; it < n; it++ {
+		best, bd := -1, math.MaxInt32
+		for i := 0; i < n; i++ {
+			if !inTree[i] && dist[i] < bd {
+				best, bd = i, dist[i]
+			}
+		}
+		inTree[best] = true
+		if parent[best] >= 0 {
+			add(uniq[parent[best]], uniq[best])
+		}
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			dd := abs(uniq[i][0]-uniq[best][0]) + abs(uniq[i][1]-uniq[best][1])
+			if dd < dist[i] {
+				dist[i] = dd
+				parent[i] = best
+			}
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// edgeCost is the congestion cost of adding one track to an edge with the
+// given current usage (quadratic in the load factor past capacity).
+func (r *router) edgeCost(use float64) float64 {
+	l := use / r.opts.Capacity
+	if l < 0.7 {
+		return 1
+	}
+	return 1 + (l-0.7)*(l-0.7)*40
+}
+
+// walk visits every edge of a candidate route: an L (hvFirst selects bend
+// order) or a Z with a mid bend. fn receives (horizontal?, edge index).
+func (r *router) walk(sg *segment, hvFirst bool, zBend int, fn func(horiz bool, idx int)) {
+	x1, y1, x2, y2 := sg.x1, sg.y1, sg.x2, sg.y2
+	hspan := func(y, xa, xb int) {
+		if xa > xb {
+			xa, xb = xb, xa
+		}
+		for x := xa; x < xb; x++ {
+			fn(true, y*r.nx+x)
+		}
+	}
+	vspan := func(x, ya, yb int) {
+		if ya > yb {
+			ya, yb = yb, ya
+		}
+		for y := ya; y < yb; y++ {
+			fn(false, y*r.nx+x)
+		}
+	}
+	switch {
+	case zBend >= 0 && x1 != x2 && y1 != y2:
+		if hvFirst {
+			// H to zBend, V, H to target.
+			hspan(y1, x1, zBend)
+			vspan(zBend, y1, y2)
+			hspan(y2, zBend, x2)
+		} else {
+			vspan(x1, y1, zBend)
+			hspan(zBend, x1, x2)
+			vspan(x2, zBend, y2)
+		}
+	case hvFirst:
+		hspan(y1, x1, x2)
+		vspan(x2, y1, y2)
+	default:
+		vspan(x1, y1, y2)
+		hspan(y2, x1, x2)
+	}
+}
+
+// routeCost evaluates a candidate without committing.
+func (r *router) routeCost(sg *segment, hvFirst bool, zBend int) float64 {
+	var cost float64
+	r.walk(sg, hvFirst, zBend, func(h bool, idx int) {
+		if h {
+			cost += r.edgeCost(r.hUse[idx])
+		} else {
+			cost += r.edgeCost(r.vUse[idx])
+		}
+	})
+	return cost
+}
+
+// applySeg adds delta tracks along the segment's committed route.
+func (r *router) applySeg(sg *segment, delta float64) {
+	r.walk(sg, sg.hvFirst, sg.zBend, func(h bool, idx int) {
+		if h {
+			r.hUse[idx] += delta
+		} else {
+			r.vUse[idx] += delta
+		}
+	})
+}
+
+// segOverflow returns the total overflow along the committed route.
+func (r *router) segOverflow(sg *segment) float64 {
+	var over float64
+	r.walk(sg, sg.hvFirst, sg.zBend, func(h bool, idx int) {
+		use := r.vUse[idx]
+		if h {
+			use = r.hUse[idx]
+		}
+		if use > r.opts.Capacity {
+			over += use - r.opts.Capacity
+		}
+	})
+	return over
+}
+
+// routeSeg picks the cheapest of the two Ls and a handful of Z routes and
+// commits it.
+func (r *router) routeSeg(sg *segment, commit bool) {
+	type cand struct {
+		hv bool
+		z  int
+	}
+	cands := []cand{{true, -1}, {false, -1}}
+	if sg.x1 != sg.x2 && sg.y1 != sg.y2 {
+		// Z bends at 1/4, 1/2, 3/4 of the span.
+		for _, f := range []float64{0.25, 0.5, 0.75} {
+			zx := sg.x1 + int(f*float64(sg.x2-sg.x1))
+			zy := sg.y1 + int(f*float64(sg.y2-sg.y1))
+			if zx != sg.x1 && zx != sg.x2 {
+				cands = append(cands, cand{true, zx})
+			}
+			if zy != sg.y1 && zy != sg.y2 {
+				cands = append(cands, cand{false, zy})
+			}
+		}
+	}
+	best := cands[0]
+	bestCost := math.Inf(1)
+	for _, c := range cands {
+		if cost := r.routeCost(sg, c.hv, c.z); cost < bestCost {
+			bestCost = cost
+			best = c
+		}
+	}
+	sg.hvFirst = best.hv
+	sg.zBend = best.z
+	if commit {
+		r.applySeg(sg, 1)
+	}
+}
+
+func (r *router) result() *Result {
+	res := &Result{
+		Grid:     r.grid,
+		HUsage:   r.hUse,
+		VUsage:   r.vUse,
+		Capacity: r.opts.Capacity,
+	}
+	res.GCellOverflow = make([]float64, r.nx*r.ny)
+	for idx := range r.hUse {
+		if ov := r.hUse[idx] - r.opts.Capacity; ov > 0 {
+			res.GCellOverflow[idx] += ov
+			res.TotalOverflow += ov
+		}
+		if ov := r.vUse[idx] - r.opts.Capacity; ov > 0 {
+			res.GCellOverflow[idx] += ov
+			res.TotalOverflow += ov
+		}
+		res.WirelengthGCells += int(r.hUse[idx] + r.vUse[idx])
+	}
+	// Top 5% most congested gcells.
+	sorted := append([]float64(nil), res.GCellOverflow...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	k := len(sorted) / 20
+	if k == 0 {
+		k = 1
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += sorted[i]
+	}
+	res.Top5Overflow = sum / float64(k)
+	return res
+}

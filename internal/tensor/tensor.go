@@ -1,0 +1,436 @@
+// Package tensor is a miniature differentiable tensor library — the
+// reproduction's stand-in for PyTorch. Tensors are flat float64 buffers
+// with a shape; operators execute through a kernel.Engine so that every
+// forward *and backward* operator costs one kernel launch, exactly the
+// accounting the paper's operator-reduction (OR) analysis depends on:
+// building a loss from small autograd ops roughly doubles the launch count
+// relative to hand-derived gradients.
+//
+// The library supports reverse-mode automatic differentiation (Backward),
+// in-place operators that bypass graph construction (the paper's "in-place
+// ops avoid redundant copying"), and user-defined operators with custom
+// forward/backward kernels (the Figure 2(b) extension path: a user loss is
+// differentiated by autograd and its gradient accumulated onto numerically
+// computed gradients).
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"xplace/internal/kernel"
+)
+
+// Context carries the execution engine and the grad-mode flag. A nil
+// Context is invalid; use NewContext.
+type Context struct {
+	E *kernel.Engine
+	// NoGrad disables graph construction (PyTorch's torch.no_grad()).
+	NoGrad bool
+}
+
+// NewContext returns a Context executing on e with gradients enabled.
+func NewContext(e *kernel.Engine) *Context { return &Context{E: e} }
+
+// Tensor is an n-dimensional array of float64. Data is row-major.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+
+	requiresGrad bool
+	// Grad is allocated lazily by Backward (or AccumulateGrad).
+	Grad []float64
+	node *node
+}
+
+// node records how a tensor was produced for reverse-mode autodiff.
+type node struct {
+	name     string
+	parents  []*Tensor
+	backward func(ctx *Context, gradOut []float64)
+}
+
+// New returns a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dim in shape %v", shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{Data: make([]float64, n), Shape: s}
+}
+
+// FromSlice wraps data (not copied) in a 1-D tensor.
+func FromSlice(data []float64) *Tensor {
+	return &Tensor{Data: data, Shape: []int{len(data)}}
+}
+
+// Full returns a tensor of the given shape filled with v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// RequiresGrad marks t as a leaf variable whose gradient should be
+// accumulated by Backward. Returns t for chaining.
+func (t *Tensor) RequiresGrad() *Tensor {
+	t.requiresGrad = true
+	return t
+}
+
+// NeedsGrad reports whether t participates in autograd (leaf or interior).
+func (t *Tensor) NeedsGrad() bool { return t.requiresGrad || t.node != nil }
+
+// Clone returns a deep copy of t's data (no graph history).
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// ZeroGrad clears t's gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// AccumulateGrad adds g into t's gradient, allocating it if needed.
+func (t *Tensor) AccumulateGrad(g []float64) {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+	if len(g) != len(t.Grad) {
+		panic(fmt.Sprintf("tensor: grad size %d != %d", len(g), len(t.Grad)))
+	}
+	for i, v := range g {
+		t.Grad[i] += v
+	}
+}
+
+func sameSize(a, b *Tensor) {
+	if len(a.Data) != len(b.Data) {
+		panic(fmt.Sprintf("tensor: size mismatch %d vs %d", len(a.Data), len(b.Data)))
+	}
+}
+
+// attach wires an output tensor into the autograd graph unless grad mode is
+// off or no parent needs gradients.
+func attach(ctx *Context, out *Tensor, name string, backward func(ctx *Context, gradOut []float64), parents ...*Tensor) {
+	if ctx.NoGrad {
+		return
+	}
+	need := false
+	for _, p := range parents {
+		if p.NeedsGrad() {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return
+	}
+	out.node = &node{name: name, parents: parents, backward: backward}
+}
+
+// Add returns a + b (elementwise), one kernel forward and — if gradients
+// flow — one kernel per input backward.
+func Add(ctx *Context, a, b *Tensor) *Tensor {
+	sameSize(a, b)
+	out := New(a.Shape...)
+	ctx.E.Launch("add.fwd", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
+	attach(ctx, out, "add", func(ctx *Context, g []float64) {
+		if a.NeedsGrad() {
+			ga := make([]float64, len(g))
+			ctx.E.Launch("add.bwd", len(g), func(lo, hi int) {
+				copy(ga[lo:hi], g[lo:hi])
+			})
+			a.AccumulateGrad(ga)
+		}
+		if b.NeedsGrad() {
+			gb := make([]float64, len(g))
+			ctx.E.Launch("add.bwd", len(g), func(lo, hi int) {
+				copy(gb[lo:hi], g[lo:hi])
+			})
+			b.AccumulateGrad(gb)
+		}
+	}, a, b)
+	return out
+}
+
+// Sub returns a - b.
+func Sub(ctx *Context, a, b *Tensor) *Tensor {
+	sameSize(a, b)
+	out := New(a.Shape...)
+	ctx.E.Launch("sub.fwd", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
+	attach(ctx, out, "sub", func(ctx *Context, g []float64) {
+		if a.NeedsGrad() {
+			ga := make([]float64, len(g))
+			ctx.E.Launch("sub.bwd", len(g), func(lo, hi int) {
+				copy(ga[lo:hi], g[lo:hi])
+			})
+			a.AccumulateGrad(ga)
+		}
+		if b.NeedsGrad() {
+			gb := make([]float64, len(g))
+			ctx.E.Launch("sub.bwd", len(g), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gb[i] = -g[i]
+				}
+			})
+			b.AccumulateGrad(gb)
+		}
+	}, a, b)
+	return out
+}
+
+// Mul returns a * b (elementwise).
+func Mul(ctx *Context, a, b *Tensor) *Tensor {
+	sameSize(a, b)
+	out := New(a.Shape...)
+	ctx.E.Launch("mul.fwd", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
+	attach(ctx, out, "mul", func(ctx *Context, g []float64) {
+		if a.NeedsGrad() {
+			ga := make([]float64, len(g))
+			ctx.E.Launch("mul.bwd", len(g), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ga[i] = g[i] * b.Data[i]
+				}
+			})
+			a.AccumulateGrad(ga)
+		}
+		if b.NeedsGrad() {
+			gb := make([]float64, len(g))
+			ctx.E.Launch("mul.bwd", len(g), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gb[i] = g[i] * a.Data[i]
+				}
+			})
+			b.AccumulateGrad(gb)
+		}
+	}, a, b)
+	return out
+}
+
+// Scale returns s * a.
+func Scale(ctx *Context, a *Tensor, s float64) *Tensor {
+	out := New(a.Shape...)
+	ctx.E.Launch("scale.fwd", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * s
+		}
+	})
+	attach(ctx, out, "scale", func(ctx *Context, g []float64) {
+		ga := make([]float64, len(g))
+		ctx.E.Launch("scale.bwd", len(g), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ga[i] = g[i] * s
+			}
+		})
+		a.AccumulateGrad(ga)
+	}, a)
+	return out
+}
+
+// Sum returns the scalar (shape [1]) sum of a.
+func Sum(ctx *Context, a *Tensor) *Tensor {
+	out := New(1)
+	out.Data[0] = ctx.E.ParallelReduce("sum.fwd", a.Len(), 0,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a.Data[i]
+			}
+			return s
+		}, func(x, y float64) float64 { return x + y })
+	attach(ctx, out, "sum", func(ctx *Context, g []float64) {
+		ga := make([]float64, a.Len())
+		gv := g[0]
+		ctx.E.Launch("sum.bwd", a.Len(), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ga[i] = gv
+			}
+		})
+		a.AccumulateGrad(ga)
+	}, a)
+	return out
+}
+
+// Dot returns the scalar inner product <a, b>.
+func Dot(ctx *Context, a, b *Tensor) *Tensor {
+	sameSize(a, b)
+	out := New(1)
+	out.Data[0] = ctx.E.ParallelReduce("dot.fwd", a.Len(), 0,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a.Data[i] * b.Data[i]
+			}
+			return s
+		}, func(x, y float64) float64 { return x + y })
+	attach(ctx, out, "dot", func(ctx *Context, g []float64) {
+		gv := g[0]
+		if a.NeedsGrad() {
+			ga := make([]float64, a.Len())
+			ctx.E.Launch("dot.bwd", a.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ga[i] = gv * b.Data[i]
+				}
+			})
+			a.AccumulateGrad(ga)
+		}
+		if b.NeedsGrad() {
+			gb := make([]float64, b.Len())
+			ctx.E.Launch("dot.bwd", b.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					gb[i] = gv * a.Data[i]
+				}
+			})
+			b.AccumulateGrad(gb)
+		}
+	}, a, b)
+	return out
+}
+
+// Exp returns elementwise e^a.
+func Exp(ctx *Context, a *Tensor) *Tensor {
+	out := New(a.Shape...)
+	ctx.E.Launch("exp.fwd", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = math.Exp(a.Data[i])
+		}
+	})
+	attach(ctx, out, "exp", func(ctx *Context, g []float64) {
+		ga := make([]float64, len(g))
+		ctx.E.Launch("exp.bwd", len(g), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ga[i] = g[i] * out.Data[i]
+			}
+		})
+		a.AccumulateGrad(ga)
+	}, a)
+	return out
+}
+
+// AddInPlace performs a += b without building graph history — PyTorch-style
+// in-place operators; it is an error to apply it to a tensor that needs
+// gradients (the graph would silently become wrong).
+func AddInPlace(ctx *Context, a, b *Tensor) {
+	sameSize(a, b)
+	if a.NeedsGrad() {
+		panic("tensor: AddInPlace on a tensor that requires grad")
+	}
+	ctx.E.Launch("add_", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
+}
+
+// ScaleInPlace performs a *= s in place (no graph history).
+func ScaleInPlace(ctx *Context, a *Tensor, s float64) {
+	if a.NeedsGrad() {
+		panic("tensor: ScaleInPlace on a tensor that requires grad")
+	}
+	ctx.E.Launch("scale_", a.Len(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] *= s
+		}
+	})
+}
+
+// Op is a user-defined differentiable operator: Forward fills out given the
+// inputs, Backward accumulates input gradients given the output gradient.
+// Both run as kernels named after the op (this is how the wirelength and
+// density operators of the baseline placer plug into autograd).
+type Op struct {
+	Name string
+	// Forward computes the op's output tensor from the inputs.
+	Forward func(ctx *Context, inputs []*Tensor) *Tensor
+	// Backward receives the upstream gradient and must call
+	// AccumulateGrad on any input that NeedsGrad.
+	Backward func(ctx *Context, inputs []*Tensor, out *Tensor, gradOut []float64)
+}
+
+// Apply runs op and wires it into the graph.
+func Apply(ctx *Context, op Op, inputs ...*Tensor) *Tensor {
+	out := op.Forward(ctx, inputs)
+	attach(ctx, out, op.Name, func(ctx *Context, g []float64) {
+		op.Backward(ctx, inputs, out, g)
+	}, inputs...)
+	return out
+}
+
+// Backward runs reverse-mode autodiff from t (which must be scalar, shape
+// [1]) and accumulates gradients into every reachable tensor that
+// NeedsGrad. This is the "heavy autograd engine" of §3.1.3: every op's
+// backward launches its own kernels.
+func Backward(ctx *Context, t *Tensor) {
+	if t.Len() != 1 {
+		panic("tensor: Backward requires a scalar loss")
+	}
+	// Topological order via DFS.
+	var order []*Tensor
+	visited := map[*Tensor]bool{}
+	var visit func(x *Tensor)
+	visit = func(x *Tensor) {
+		if visited[x] || x.node == nil {
+			return
+		}
+		visited[x] = true
+		for _, p := range x.node.parents {
+			visit(p)
+		}
+		order = append(order, x)
+	}
+	visit(t)
+
+	// Interior (non-leaf) gradients are per-backward state: clear them so
+	// a second Backward over a shared graph does not accumulate stale
+	// upstream gradients. Leaf tensors keep PyTorch's accumulate-across-
+	// calls semantics.
+	for _, x := range order {
+		x.Grad = nil
+	}
+
+	grads := map[*Tensor][]float64{t: {1}}
+	for i := len(order) - 1; i >= 0; i-- {
+		x := order[i]
+		g := grads[x]
+		if g == nil {
+			continue
+		}
+		// Leaf accumulation happens inside each op's backward via
+		// AccumulateGrad; interior gradients flow through the map. To keep
+		// both uniform, ops call AccumulateGrad, and we lift interior
+		// tensors' Grad into the map for their own backward pass.
+		x.node.backward(ctx, g)
+		for _, p := range x.node.parents {
+			if p.node != nil && p.Grad != nil {
+				grads[p] = p.Grad
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"xplace/internal/kernel"
+)
+
+func ctx() *Context { return NewContext(kernel.New(kernel.Options{Workers: 2})) }
+
+func TestNewAndFull(t *testing.T) {
+	a := New(2, 3)
+	if a.Len() != 6 || len(a.Shape) != 2 {
+		t.Fatalf("bad tensor %v", a.Shape)
+	}
+	b := Full(7, 4)
+	for _, v := range b.Data {
+		if v != 7 {
+			t.Fatal("Full wrong")
+		}
+	}
+	c := FromSlice([]float64{1, 2, 3})
+	if c.Len() != 3 || c.Data[1] != 2 {
+		t.Fatal("FromSlice wrong")
+	}
+}
+
+func TestNewPanicsOnNegativeDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestElementwiseForward(t *testing.T) {
+	c := ctx()
+	a := FromSlice([]float64{1, 2, 3})
+	b := FromSlice([]float64{10, 20, 30})
+	if got := Add(c, a, b).Data; got[2] != 33 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(c, b, a).Data; got[0] != 9 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(c, a, b).Data; got[1] != 40 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Scale(c, a, -2).Data; got[2] != -6 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Sum(c, a).Data[0]; got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Dot(c, a, b).Data[0]; got != 140 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Exp(c, FromSlice([]float64{0, 1})).Data; got[0] != 1 || math.Abs(got[1]-math.E) > 1e-12 {
+		t.Errorf("Exp = %v", got)
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Add(ctx(), FromSlice([]float64{1}), FromSlice([]float64{1, 2}))
+}
+
+func TestBackwardSimpleChain(t *testing.T) {
+	// loss = sum((a+b) * a) ; dloss/da = 2a + b, dloss/db = a
+	c := ctx()
+	a := FromSlice([]float64{1, 2, 3}).RequiresGrad()
+	b := FromSlice([]float64{4, 5, 6}).RequiresGrad()
+	loss := Sum(c, Mul(c, Add(c, a, b), a))
+	Backward(c, loss)
+	wantA := []float64{2*1 + 4, 2*2 + 5, 2*3 + 6}
+	wantB := []float64{1, 2, 3}
+	for i := range wantA {
+		if math.Abs(a.Grad[i]-wantA[i]) > 1e-12 {
+			t.Errorf("a.Grad[%d] = %v, want %v", i, a.Grad[i], wantA[i])
+		}
+		if math.Abs(b.Grad[i]-wantB[i]) > 1e-12 {
+			t.Errorf("b.Grad[%d] = %v, want %v", i, b.Grad[i], wantB[i])
+		}
+	}
+}
+
+func TestBackwardSharedSubexpression(t *testing.T) {
+	// y = a*a used twice: loss = sum(y) + sum(y) -> dloss/da = 4a.
+	c := ctx()
+	a := FromSlice([]float64{1, -2, 3}).RequiresGrad()
+	y := Mul(c, a, a)
+	loss := Add(c, Sum(c, y), Sum(c, y))
+	Backward(c, loss)
+	for i, v := range a.Data {
+		if math.Abs(a.Grad[i]-4*v) > 1e-12 {
+			t.Errorf("grad[%d] = %v, want %v", i, a.Grad[i], 4*v)
+		}
+	}
+}
+
+func TestBackwardScaleExpDot(t *testing.T) {
+	// loss = dot(exp(2a), b); dloss/da = 2*exp(2a)*b.
+	c := ctx()
+	a := FromSlice([]float64{0.1, 0.2}).RequiresGrad()
+	b := FromSlice([]float64{3, -1})
+	loss := Dot(c, Exp(c, Scale(c, a, 2)), b)
+	Backward(c, loss)
+	for i := range a.Data {
+		want := 2 * math.Exp(2*a.Data[i]) * b.Data[i]
+		if math.Abs(a.Grad[i]-want) > 1e-12 {
+			t.Errorf("grad[%d] = %v, want %v", i, a.Grad[i], want)
+		}
+	}
+	if b.Grad != nil {
+		t.Error("b does not require grad; must stay nil")
+	}
+}
+
+// Property: autograd gradient of sum(a*a*s) matches the analytic 2*s*a for
+// random vectors.
+func TestBackwardMatchesAnalytic(t *testing.T) {
+	f := func(vals []float64, s float64) bool {
+		if len(vals) == 0 || len(vals) > 64 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		if math.IsNaN(s) || math.Abs(s) > 1e3 {
+			return true
+		}
+		c := ctx()
+		a := FromSlice(append([]float64(nil), vals...)).RequiresGrad()
+		loss := Scale(c, Sum(c, Mul(c, a, a)), s)
+		Backward(c, loss)
+		for i := range vals {
+			want := 2 * s * vals[i]
+			tol := 1e-9 * (1 + math.Abs(want))
+			if math.Abs(a.Grad[i]-want) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	c := ctx()
+	a := FromSlice([]float64{1, 2}).RequiresGrad()
+	Backward(c, Add(c, a, a))
+}
+
+func TestNoGradContextBuildsNoGraph(t *testing.T) {
+	c := ctx()
+	c.NoGrad = true
+	a := FromSlice([]float64{1, 2}).RequiresGrad()
+	out := Mul(c, a, a)
+	if out.node != nil {
+		t.Error("NoGrad must not attach a node")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	c := ctx()
+	a := FromSlice([]float64{1, 2, 3})
+	b := FromSlice([]float64{10, 10, 10})
+	AddInPlace(c, a, b)
+	if a.Data[0] != 11 {
+		t.Errorf("AddInPlace = %v", a.Data)
+	}
+	ScaleInPlace(c, a, 0.5)
+	if a.Data[2] != 6.5 {
+		t.Errorf("ScaleInPlace = %v", a.Data)
+	}
+}
+
+func TestInPlaceOnGradTensorPanics(t *testing.T) {
+	c := ctx()
+	a := FromSlice([]float64{1}).RequiresGrad()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	AddInPlace(c, a, FromSlice([]float64{1}))
+}
+
+func TestCustomOpApply(t *testing.T) {
+	// A custom "square" op with hand-written backward, per Figure 2(b).
+	square := Op{
+		Name: "square",
+		Forward: func(ctx *Context, in []*Tensor) *Tensor {
+			a := in[0]
+			out := New(a.Shape...)
+			ctx.E.Launch("square.fwd", a.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out.Data[i] = a.Data[i] * a.Data[i]
+				}
+			})
+			return out
+		},
+		Backward: func(ctx *Context, in []*Tensor, out *Tensor, g []float64) {
+			a := in[0]
+			if !a.NeedsGrad() {
+				return
+			}
+			ga := make([]float64, a.Len())
+			ctx.E.Launch("square.bwd", a.Len(), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					ga[i] = 2 * a.Data[i] * g[i]
+				}
+			})
+			a.AccumulateGrad(ga)
+		},
+	}
+	c := ctx()
+	a := FromSlice([]float64{3, -4}).RequiresGrad()
+	loss := Sum(c, Apply(c, square, a))
+	Backward(c, loss)
+	if a.Grad[0] != 6 || a.Grad[1] != -8 {
+		t.Errorf("custom op grads = %v", a.Grad)
+	}
+}
+
+// The launch-count assertion behind operator reduction: computing the same
+// gradient through autograd must launch strictly more kernels than a fused
+// hand-written gradient pass.
+func TestAutogradLaunchesExceedHandWritten(t *testing.T) {
+	n := 4096
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%17) * 0.25
+	}
+
+	// Autograd route: loss = sum(a*a), Backward.
+	eAuto := kernel.New(kernel.Options{Workers: 2})
+	cAuto := NewContext(eAuto)
+	a := FromSlice(append([]float64(nil), data...)).RequiresGrad()
+	Backward(cAuto, Sum(cAuto, Mul(cAuto, a, a)))
+
+	// Hand route: single fused kernel writes the gradient directly.
+	eHand := kernel.New(kernel.Options{Workers: 2})
+	grad := make([]float64, n)
+	eHand.Launch("fused.grad", n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grad[i] = 2 * data[i]
+		}
+	})
+
+	la, lh := eAuto.Stats().Launches, eHand.Stats().Launches
+	if la <= lh {
+		t.Errorf("autograd launches %d should exceed hand-written %d", la, lh)
+	}
+	for i := range grad {
+		if math.Abs(grad[i]-a.Grad[i]) > 1e-12 {
+			t.Fatalf("gradients disagree at %d: %v vs %v", i, grad[i], a.Grad[i])
+		}
+	}
+}
+
+func TestDoubleBackwardOverSharedGraph(t *testing.T) {
+	// Running Backward twice over (parts of) the same graph must not let
+	// stale interior gradients accumulate: grads after the second pass
+	// must equal leaf-accumulated 2x the analytic value, not more.
+	c := ctx()
+	a := FromSlice([]float64{1, 2}).RequiresGrad()
+	y := Mul(c, a, a) // interior
+	loss1 := Sum(c, y)
+	Backward(c, loss1)
+	loss2 := Sum(c, y) // shares the interior node y
+	Backward(c, loss2)
+	for i, v := range a.Data {
+		want := 2 * (2 * v) // two accumulated passes of d(sum a^2)/da
+		if math.Abs(a.Grad[i]-want) > 1e-12 {
+			t.Errorf("grad[%d] = %v, want %v", i, a.Grad[i], want)
+		}
+	}
+}
+
+func TestCloneAndZeroGrad(t *testing.T) {
+	a := FromSlice([]float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("Clone must deep-copy")
+	}
+	a.AccumulateGrad([]float64{5, 5})
+	a.ZeroGrad()
+	if a.Grad[0] != 0 || a.Grad[1] != 0 {
+		t.Error("ZeroGrad failed")
+	}
+}
+
+func TestAccumulateGradMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	FromSlice([]float64{1, 2}).AccumulateGrad([]float64{1})
+}

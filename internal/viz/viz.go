@@ -1,0 +1,162 @@
+// Package viz renders placements and congestion/density maps for
+// inspection: placements as SVG (cells colored by kind, fences and
+// macros outlined) and scalar bin maps (density, gcell overflow) as PGM
+// grayscale images. Both formats are plain text, dependency-free and
+// diffable.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"xplace/internal/netlist"
+)
+
+// SVGOptions tunes WriteSVG.
+type SVGOptions struct {
+	// Width is the image width in pixels (height follows the region's
+	// aspect ratio). Default 800.
+	Width float64
+	// DrawNets draws flylines for nets up to MaxNetDegree (0 disables).
+	DrawNets     bool
+	MaxNetDegree int
+}
+
+// WriteSVG renders the design at positions (x, y) (nil means stored) as
+// an SVG document.
+func WriteSVG(w io.Writer, d *netlist.Design, x, y []float64, opts SVGOptions) error {
+	if x == nil {
+		x = d.CellX
+	}
+	if y == nil {
+		y = d.CellY
+	}
+	if opts.Width <= 0 {
+		opts.Width = 800
+	}
+	if opts.MaxNetDegree == 0 {
+		opts.MaxNetDegree = 8
+	}
+	bw := bufio.NewWriter(w)
+	scale := opts.Width / d.Region.W()
+	hpx := d.Region.H() * scale
+	// SVG y grows downward; flip.
+	fy := func(v float64) float64 { return (d.Region.Hy - v) * scale }
+	fx := func(v float64) float64 { return (v - d.Region.Lx) * scale }
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opts.Width, hpx, opts.Width, hpx)
+	fmt.Fprintf(bw, `<rect width="%.0f" height="%.0f" fill="#ffffff" stroke="#000000"/>`+"\n", opts.Width, hpx)
+
+	// Rows as faint lines.
+	for _, r := range d.Rows {
+		fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#eeeeee" stroke-width="0.5"/>`+"\n",
+			fx(r.X0), fy(r.Y), fx(r.X1), fy(r.Y))
+	}
+	// Fences.
+	for _, f := range d.Fences {
+		fmt.Fprintf(bw, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#cc8800" stroke-width="1.5" stroke-dasharray="4,3"/>`+"\n",
+			fx(f.Lx), fy(f.Hy), f.W()*scale, f.H()*scale)
+	}
+	// Cells.
+	for c := 0; c < d.NumCells(); c++ {
+		var fill string
+		switch d.CellKind[c] {
+		case netlist.Fixed:
+			fill = "#888888"
+		case netlist.Filler:
+			continue
+		default:
+			fill = "#4477cc"
+			if d.CellFence[c] >= 0 {
+				fill = "#cc8800"
+			}
+		}
+		lx := x[c] - d.CellW[c]/2
+		hy := y[c] + d.CellH[c]/2
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="0.7" stroke="#223355" stroke-width="0.2"/>`+"\n",
+			fx(lx), fy(hy), d.CellW[c]*scale, d.CellH[c]*scale, fill)
+	}
+	// Net flylines (small nets only).
+	if opts.DrawNets {
+		for n := 0; n < d.NumNets(); n++ {
+			s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+			if e-s < 2 || e-s > opts.MaxNetDegree {
+				continue
+			}
+			var cx, cy float64
+			for p := s; p < e; p++ {
+				px, py := d.PinPos(p, x, y)
+				cx += px
+				cy += py
+			}
+			cx /= float64(e - s)
+			cy /= float64(e - s)
+			for p := s; p < e; p++ {
+				px, py := d.PinPos(p, x, y)
+				fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cc4444" stroke-width="0.3" stroke-opacity="0.4"/>`+"\n",
+					fx(cx), fy(cy), fx(px), fy(py))
+			}
+		}
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// WritePGM renders a bin map (row-major, nx x ny, y growing upward) as a
+// binary-free plain PGM (P2) grayscale image, normalized to the map's
+// range. Useful for density and congestion maps.
+func WritePGM(w io.Writer, data []float64, nx, ny int) error {
+	if len(data) != nx*ny {
+		return fmt.Errorf("viz: map has %d values, want %d", len(data), nx*ny)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n%d %d\n255\n", nx, ny)
+	// PGM rows go top-down; our maps bottom-up.
+	for yy := ny - 1; yy >= 0; yy-- {
+		for xx := 0; xx < nx; xx++ {
+			g := int(255 * (data[yy*nx+xx] - lo) / span)
+			if xx > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprint(bw, g)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ASCIIHeatmap renders a bin map as a compact text heatmap (one rune per
+// bin, " .:-=+*#%@" ramp), handy in test logs and terminals.
+func ASCIIHeatmap(data []float64, nx, ny int) string {
+	ramp := []rune(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	out := make([]rune, 0, (nx+1)*ny)
+	for yy := ny - 1; yy >= 0; yy-- {
+		for xx := 0; xx < nx; xx++ {
+			idx := int(float64(len(ramp)-1) * (data[yy*nx+xx] - lo) / span)
+			out = append(out, ramp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+)
+
+func vizDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("viz", geom.Rect{Hx: 20, Hy: 10})
+	d.Rows = append(d.Rows, netlist.Row{Y: 0, X0: 0, X1: 20, Height: 5, SiteWidth: 1})
+	f := d.AddFence(geom.Rect{Lx: 0, Ly: 0, Hx: 8, Hy: 10})
+	a := d.AddCell("a", 2, 5, 3, 2.5, netlist.Movable)
+	d.SetFence(a, f)
+	b := d.AddCell("b", 2, 5, 12, 2.5, netlist.Movable)
+	d.AddCell("m", 4, 4, 16, 7, netlist.Fixed)
+	d.AddCell("fl", 1, 1, 9, 9, netlist.Filler)
+	d.AddNet("n")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestWriteSVG(t *testing.T) {
+	d := vizDesign(t)
+	var buf bytes.Buffer
+	if err := WriteSVG(&buf, d, nil, nil, SVGOptions{Width: 400, DrawNets: true}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>",
+		`fill="#4477cc"`,   // movable
+		`fill="#888888"`,   // fixed macro
+		`fill="#cc8800"`,   // fenced cell
+		"stroke-dasharray", // fence outline
+		`stroke="#cc4444"`, // flyline
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Fillers are not drawn.
+	if strings.Count(svg, "<rect") != 1+4 { // background + 3 cells + fence
+		t.Errorf("unexpected rect count: %d", strings.Count(svg, "<rect"))
+	}
+}
+
+func TestWriteSVGWithOverridePositions(t *testing.T) {
+	d := vizDesign(t)
+	x := append([]float64(nil), d.CellX...)
+	y := append([]float64(nil), d.CellY...)
+	x[0] = 5
+	var a, b bytes.Buffer
+	if err := WriteSVG(&a, d, nil, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&b, d, x, y, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("override positions had no effect")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5} // 3x2
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, data, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "P2\n3 2\n255\n") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Top row of the image is the HIGH-y row (values 3 4 5).
+	if lines[3] != "153 204 255" {
+		t.Errorf("top row = %q", lines[3])
+	}
+	if lines[4] != "0 51 102" {
+		t.Errorf("bottom row = %q", lines[4])
+	}
+}
+
+func TestWritePGMSizeMismatch(t *testing.T) {
+	if err := WritePGM(&bytes.Buffer{}, make([]float64, 5), 2, 3); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestWritePGMConstantMap(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, []float64{7, 7, 7, 7}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("constant map produced NaN")
+	}
+}
+
+func TestASCIIHeatmap(t *testing.T) {
+	data := []float64{0, 0, 0, 9} // 2x2, hottest at (1,1) = top-right
+	s := ASCIIHeatmap(data, 2, 2)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heatmap:\n%q", s)
+	}
+	if lines[0][1] != '@' {
+		t.Errorf("hottest bin should render '@', got %q", lines[0])
+	}
+	if lines[1][0] != ' ' {
+		t.Errorf("cold bin should render space, got %q", lines[1])
+	}
+}

@@ -1,0 +1,200 @@
+// Package wirelength implements the wirelength operators of the placer:
+// the exact half-perimeter wirelength (HPWL, Eq. 2), the numerically stable
+// weighted-average (WA) smoothed wirelength (Eq. 6), and its analytic
+// gradient.
+//
+// The package provides both the paper's fused operator (§3.1.1 operator
+// combination: WA wirelength + WA gradient + HPWL in ONE kernel, sharing
+// the per-net min/max scan) and the unfused operators the ablation and the
+// DREAMPlace-style baseline use (separate kernels, each rescanning min/max).
+package wirelength
+
+import (
+	"math"
+
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+// Result carries the scalar outputs of a wirelength operator evaluation.
+type Result struct {
+	WA   float64 // smoothed wirelength, x + y components
+	HPWL float64 // exact half-perimeter wirelength
+}
+
+// netWA computes the stable WA wirelength and per-pin gradient of one net
+// in one dimension. pos is indexed by cell; grad (per pin, indexed by
+// global pin id) is written if non-nil. Returns (waWL, hpwl).
+func netWA(d *netlist.Design, n int, pos []float64, off []float64, gamma float64, grad []float64) (float64, float64) {
+	s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+	if e-s < 2 {
+		if grad != nil {
+			for p := s; p < e; p++ {
+				grad[p] = 0
+			}
+		}
+		return 0, 0
+	}
+	// Pass 1: min/max (shared by WA, gradient and HPWL).
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for p := s; p < e; p++ {
+		v := pos[d.PinCell[p]] + off[p]
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	hpwl := maxV - minV
+	// Pass 2: stable exponential sums (Eq. 6).
+	inv := 1 / gamma
+	var sPlus, sMinus, bPlus, bMinus float64
+	for p := s; p < e; p++ {
+		v := pos[d.PinCell[p]] + off[p]
+		ap := math.Exp((v - maxV) * inv)
+		am := math.Exp((minV - v) * inv)
+		sPlus += ap
+		sMinus += am
+		bPlus += v * ap
+		bMinus += v * am
+	}
+	wa := bPlus/sPlus - bMinus/sMinus
+	if grad != nil {
+		// Pass 3: gradient. d(B+/S+)/dv_j = a_j*(S+ + (v_j*S+ - B+)/gamma)/S+^2
+		// and symmetrically for the minus term.
+		invSP2 := 1 / (sPlus * sPlus)
+		invSM2 := 1 / (sMinus * sMinus)
+		for p := s; p < e; p++ {
+			v := pos[d.PinCell[p]] + off[p]
+			ap := math.Exp((v - maxV) * inv)
+			am := math.Exp((minV - v) * inv)
+			gp := ap * (sPlus + (v*sPlus-bPlus)*inv) * invSP2
+			gm := am * (sMinus - (v*sMinus-bMinus)*inv) * invSM2
+			grad[p] = gp - gm
+		}
+	}
+	return wa, hpwl
+}
+
+// Fused evaluates WA wirelength, WA pin gradient and HPWL in a single
+// kernel launch (the paper's operator combination, §3.1.1). pinGX/pinGY
+// must have length NumPins; they receive d(WA)/d(pin position).
+func Fused(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) Result {
+	nw := e.Workers()
+	partWA := make([]float64, nw)
+	partHP := make([]float64, nw)
+	e.LaunchChunks("wl.fused_wa_grad_hpwl", d.NumNets(), func(w, lo, hi int) {
+		var wa, hp float64
+		for n := lo; n < hi; n++ {
+			wx, hx := netWA(d, n, x, d.PinOffX, gamma, pinGX)
+			wy, hy := netWA(d, n, y, d.PinOffY, gamma, pinGY)
+			wa += wx + wy
+			hp += hx + hy
+		}
+		partWA[w] += wa
+		partHP[w] += hp
+	})
+	var res Result
+	for w := 0; w < nw; w++ {
+		res.WA += partWA[w]
+		res.HPWL += partHP[w]
+	}
+	return res
+}
+
+// WAGrad evaluates the WA wirelength and its pin gradient as one kernel
+// (DREAMPlace's objective-and-gradient merging) WITHOUT the HPWL fusion —
+// the "no operator combination" configuration.
+func WAGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) float64 {
+	nw := e.Workers()
+	part := make([]float64, nw)
+	e.LaunchChunks("wl.wa_grad", d.NumNets(), func(w, lo, hi int) {
+		var wa float64
+		for n := lo; n < hi; n++ {
+			wx, _ := netWA(d, n, x, d.PinOffX, gamma, pinGX)
+			wy, _ := netWA(d, n, y, d.PinOffY, gamma, pinGY)
+			wa += wx + wy
+		}
+		part[w] += wa
+	})
+	var total float64
+	for w := 0; w < nw; w++ {
+		total += part[w]
+	}
+	return total
+}
+
+// WAForward evaluates only the WA wirelength (no gradient) as one kernel —
+// the forward operator the autograd baseline differentiates.
+func WAForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64) float64 {
+	nw := e.Workers()
+	part := make([]float64, nw)
+	e.LaunchChunks("wl.wa_fwd", d.NumNets(), func(w, lo, hi int) {
+		var wa float64
+		for n := lo; n < hi; n++ {
+			wx, _ := netWA(d, n, x, d.PinOffX, gamma, nil)
+			wy, _ := netWA(d, n, y, d.PinOffY, gamma, nil)
+			wa += wx + wy
+		}
+		part[w] += wa
+	})
+	var total float64
+	for w := 0; w < nw; w++ {
+		total += part[w]
+	}
+	return total
+}
+
+// HPWL evaluates the exact half-perimeter wirelength as its own kernel,
+// rescanning every net's min/max (what the unfused configuration pays).
+func HPWL(e *kernel.Engine, d *netlist.Design, x, y []float64) float64 {
+	return e.ParallelReduce("wl.hpwl", d.NumNets(), 0,
+		func(lo, hi int) float64 {
+			var hp float64
+			for n := lo; n < hi; n++ {
+				s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+				if e-s < 2 {
+					continue
+				}
+				minX, maxX := math.Inf(1), math.Inf(-1)
+				minY, maxY := math.Inf(1), math.Inf(-1)
+				for p := s; p < e; p++ {
+					c := d.PinCell[p]
+					px := x[c] + d.PinOffX[p]
+					py := y[c] + d.PinOffY[p]
+					if px < minX {
+						minX = px
+					}
+					if px > maxX {
+						maxX = px
+					}
+					if py < minY {
+						minY = py
+					}
+					if py > maxY {
+						maxY = py
+					}
+				}
+				hp += (maxX - minX) + (maxY - minY)
+			}
+			return hp
+		}, func(a, b float64) float64 { return a + b })
+}
+
+// PinToCellGrad scatters per-pin gradients onto cell centers as one kernel
+// parallel over cells (race-free: each cell sums its own pins via the CSR
+// reverse map). Overwrites cellGX/cellGY; cells without pins get zero.
+func PinToCellGrad(e *kernel.Engine, d *netlist.Design, pinGX, pinGY, cellGX, cellGY []float64) {
+	e.Launch("wl.pin_to_cell", d.NumCells(), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var gx, gy float64
+			for _, p := range d.CellPins[d.CellPinStart[c]:d.CellPinStart[c+1]] {
+				gx += pinGX[p]
+				gy += pinGY[p]
+			}
+			cellGX[c] = gx
+			cellGY[c] = gy
+		}
+	})
+}

@@ -1,0 +1,279 @@
+package wirelength
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+// randomDesign builds a seeded random design with nc movable cells and nn
+// nets of degree 2..6.
+func randomDesign(tb testing.TB, nc, nn int, seed int64) *netlist.Design {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := netlist.NewDesign("rand", geom.Rect{Hx: 1000, Hy: 1000})
+	for i := 0; i < nc; i++ {
+		d.AddCell("c", 2, 2, 10+rng.Float64()*980, 10+rng.Float64()*980, netlist.Movable)
+	}
+	for i := 0; i < nn; i++ {
+		d.AddNet("n")
+		deg := 2 + rng.Intn(5)
+		for j := 0; j < deg; j++ {
+			d.AddPin(rng.Intn(nc), rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	if err := d.Finish(); err != nil {
+		tb.Fatal(err)
+	}
+	return d
+}
+
+func eng() *kernel.Engine { return kernel.New(kernel.Options{Workers: 4}) }
+
+func TestHPWLMatchesNetlistReference(t *testing.T) {
+	d := randomDesign(t, 50, 80, 1)
+	e := eng()
+	got := HPWL(e, d, d.CellX, d.CellY)
+	want := d.HPWL(nil, nil)
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Errorf("HPWL = %v, want %v", got, want)
+	}
+}
+
+func TestWAUnderestimatesAndConvergesToHPWL(t *testing.T) {
+	d := randomDesign(t, 40, 60, 2)
+	e := eng()
+	hp := d.HPWL(nil, nil)
+	prevGap := math.Inf(1)
+	for _, gamma := range []float64{100, 10, 1, 0.1} {
+		wa := WAForward(e, d, d.CellX, d.CellY, gamma)
+		if wa > hp+1e-6 {
+			t.Errorf("gamma=%v: WA %v exceeds HPWL %v", gamma, wa, hp)
+		}
+		gap := hp - wa
+		if gap > prevGap+1e-9 {
+			t.Errorf("gamma=%v: gap %v grew from %v (should shrink)", gamma, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 0.01*hp {
+		t.Errorf("gamma=0.1 gap %v still more than 1%% of HPWL %v", prevGap, hp)
+	}
+}
+
+func TestFusedAgreesWithUnfused(t *testing.T) {
+	d := randomDesign(t, 60, 90, 3)
+	e := eng()
+	np := d.NumPins()
+	gx1, gy1 := make([]float64, np), make([]float64, np)
+	gx2, gy2 := make([]float64, np), make([]float64, np)
+	gamma := 5.0
+
+	res := Fused(e, d, d.CellX, d.CellY, gamma, gx1, gy1)
+	wa := WAGrad(e, d, d.CellX, d.CellY, gamma, gx2, gy2)
+	hp := HPWL(e, d, d.CellX, d.CellY)
+	fwd := WAForward(e, d, d.CellX, d.CellY, gamma)
+
+	if math.Abs(res.WA-wa) > 1e-9*(1+math.Abs(wa)) {
+		t.Errorf("fused WA %v != unfused %v", res.WA, wa)
+	}
+	if math.Abs(res.WA-fwd) > 1e-9*(1+math.Abs(fwd)) {
+		t.Errorf("fused WA %v != forward-only %v", res.WA, fwd)
+	}
+	if math.Abs(res.HPWL-hp) > 1e-9*(1+hp) {
+		t.Errorf("fused HPWL %v != unfused %v", res.HPWL, hp)
+	}
+	for p := 0; p < np; p++ {
+		if math.Abs(gx1[p]-gx2[p]) > 1e-12 || math.Abs(gy1[p]-gy2[p]) > 1e-12 {
+			t.Fatalf("pin %d grads disagree: (%v,%v) vs (%v,%v)", p, gx1[p], gy1[p], gx2[p], gy2[p])
+		}
+	}
+}
+
+func TestFusedUsesOneLaunchUnfusedTwo(t *testing.T) {
+	d := randomDesign(t, 30, 40, 4)
+	np := d.NumPins()
+	gx, gy := make([]float64, np), make([]float64, np)
+
+	eF := eng()
+	Fused(eF, d, d.CellX, d.CellY, 5, gx, gy)
+	if got := eF.Stats().Launches; got != 1 {
+		t.Errorf("fused launches = %d, want 1", got)
+	}
+
+	eU := eng()
+	WAGrad(eU, d, d.CellX, d.CellY, 5, gx, gy)
+	HPWL(eU, d, d.CellX, d.CellY)
+	if got := eU.Stats().Launches; got != 2 {
+		t.Errorf("unfused launches = %d, want 2", got)
+	}
+}
+
+// Finite-difference check of the WA gradient.
+func TestWAGradientFiniteDifference(t *testing.T) {
+	d := randomDesign(t, 12, 20, 5)
+	e := eng()
+	gamma := 3.0
+	np := d.NumPins()
+	gx, gy := make([]float64, np), make([]float64, np)
+	Fused(e, d, d.CellX, d.CellY, gamma, gx, gy)
+	// Cell gradient via pin scatter.
+	cgx := make([]float64, d.NumCells())
+	cgy := make([]float64, d.NumCells())
+	PinToCellGrad(e, d, gx, gy, cgx, cgy)
+
+	h := 1e-5
+	x := append([]float64(nil), d.CellX...)
+	for c := 0; c < d.NumCells(); c++ {
+		x[c] += h
+		up := WAForward(e, d, x, d.CellY, gamma)
+		x[c] -= 2 * h
+		dn := WAForward(e, d, x, d.CellY, gamma)
+		x[c] += h
+		fd := (up - dn) / (2 * h)
+		if math.Abs(fd-cgx[c]) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("cell %d: analytic %v vs FD %v", c, cgx[c], fd)
+		}
+	}
+}
+
+// The gradient of a translation-invariant function sums to ~zero per net.
+func TestWAGradientSumsToZero(t *testing.T) {
+	d := randomDesign(t, 30, 50, 6)
+	e := eng()
+	np := d.NumPins()
+	gx, gy := make([]float64, np), make([]float64, np)
+	Fused(e, d, d.CellX, d.CellY, 2, gx, gy)
+	for n := 0; n < d.NumNets(); n++ {
+		var sx, sy float64
+		for p := d.NetPinStart[n]; p < d.NetPinStart[n+1]; p++ {
+			sx += gx[p]
+			sy += gy[p]
+		}
+		if math.Abs(sx) > 1e-9 || math.Abs(sy) > 1e-9 {
+			t.Fatalf("net %d gradient sum = (%v, %v)", n, sx, sy)
+		}
+	}
+}
+
+// For a 2-pin net with small gamma, gradients approach +-1 (the exact HPWL
+// subgradient).
+func TestWAGradientTwoPinLimit(t *testing.T) {
+	d := netlist.NewDesign("two", geom.Rect{Hx: 100, Hy: 100})
+	a := d.AddCell("a", 1, 1, 10, 50, netlist.Movable)
+	b := d.AddCell("b", 1, 1, 90, 50, netlist.Movable)
+	d.AddNet("n")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	e := eng()
+	gx, gy := make([]float64, 2), make([]float64, 2)
+	Fused(e, d, d.CellX, d.CellY, 0.01, gx, gy)
+	if math.Abs(gx[0]+1) > 1e-6 || math.Abs(gx[1]-1) > 1e-6 {
+		t.Errorf("x grads = %v, want [-1, 1]", gx)
+	}
+	if math.Abs(gy[0]) > 1e-6 || math.Abs(gy[1]) > 1e-6 {
+		t.Errorf("y grads = %v, want [0, 0]", gy)
+	}
+}
+
+func TestSmallNetsContributeZeroAndClearGrads(t *testing.T) {
+	d := netlist.NewDesign("deg1", geom.Rect{Hx: 100, Hy: 100})
+	a := d.AddCell("a", 1, 1, 10, 10, netlist.Movable)
+	d.AddNet("n1")
+	d.AddPin(a, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	e := eng()
+	gx := []float64{123}
+	gy := []float64{456}
+	res := Fused(e, d, d.CellX, d.CellY, 1, gx, gy)
+	if res.WA != 0 || res.HPWL != 0 {
+		t.Errorf("single-pin net result = %+v", res)
+	}
+	if gx[0] != 0 || gy[0] != 0 {
+		t.Errorf("stale grads not cleared: %v %v", gx, gy)
+	}
+}
+
+func TestPinToCellGrad(t *testing.T) {
+	d := randomDesign(t, 20, 30, 7)
+	e := eng()
+	np := d.NumPins()
+	pgx := make([]float64, np)
+	pgy := make([]float64, np)
+	for p := 0; p < np; p++ {
+		pgx[p] = float64(p)
+		pgy[p] = -float64(p)
+	}
+	cgx := make([]float64, d.NumCells())
+	cgy := make([]float64, d.NumCells())
+	PinToCellGrad(e, d, pgx, pgy, cgx, cgy)
+	// Reference: direct accumulation.
+	wantX := make([]float64, d.NumCells())
+	wantY := make([]float64, d.NumCells())
+	for p := 0; p < np; p++ {
+		wantX[d.PinCell[p]] += pgx[p]
+		wantY[d.PinCell[p]] += pgy[p]
+	}
+	for c := 0; c < d.NumCells(); c++ {
+		if cgx[c] != wantX[c] || cgy[c] != wantY[c] {
+			t.Fatalf("cell %d grad = (%v,%v), want (%v,%v)", c, cgx[c], cgy[c], wantX[c], wantY[c])
+		}
+	}
+}
+
+func TestStabilityWithExtremeCoordinates(t *testing.T) {
+	// The stable form (Eq. 6) must not overflow even with huge coordinates
+	// and tiny gamma.
+	d := netlist.NewDesign("extreme", geom.Rect{Hx: 1e9, Hy: 1e9})
+	a := d.AddCell("a", 1, 1, 1e8, 1e8, netlist.Movable)
+	b := d.AddCell("b", 1, 1, 9e8, 9e8, netlist.Movable)
+	d.AddNet("n")
+	d.AddPin(a, 0, 0)
+	d.AddPin(b, 0, 0)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	e := eng()
+	gx, gy := make([]float64, 2), make([]float64, 2)
+	res := Fused(e, d, d.CellX, d.CellY, 1e-3, gx, gy)
+	if math.IsNaN(res.WA) || math.IsInf(res.WA, 0) {
+		t.Errorf("WA overflowed: %v", res.WA)
+	}
+	for _, g := range append(gx, gy...) {
+		if math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Errorf("gradient overflowed: %v %v", gx, gy)
+		}
+	}
+}
+
+func BenchmarkFused(b *testing.B) {
+	d := randomDesign(b, 5000, 5000, 1)
+	e := eng()
+	np := d.NumPins()
+	gx, gy := make([]float64, np), make([]float64, np)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fused(e, d, d.CellX, d.CellY, 5, gx, gy)
+	}
+}
+
+func BenchmarkUnfused(b *testing.B) {
+	d := randomDesign(b, 5000, 5000, 1)
+	e := eng()
+	np := d.NumPins()
+	gx, gy := make([]float64, np), make([]float64, np)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WAGrad(e, d, d.CellX, d.CellY, 5, gx, gy)
+		HPWL(e, d, d.CellX, d.CellY)
+	}
+}

@@ -1,0 +1,141 @@
+package xplace
+
+// Routability-driven placement — the paper's second stated future-work
+// item, implemented as an extension: after a full placement flow, cells
+// sitting in congested gcells are inflated (their width grows, demanding
+// whitespace around them) and the flow is re-run, the classic
+// cell-inflation loop of routability-driven placers (e.g. Ripple [2]).
+
+import (
+	"fmt"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+	"xplace/internal/router"
+)
+
+// RoutabilityOptions configures RunRoutabilityFlow.
+type RoutabilityOptions struct {
+	// Flow configures each placement pass.
+	Flow FlowOptions
+	// Route configures the congestion scoring between passes.
+	Route RouteOptions
+	// MaxPasses bounds the inflate-and-replace loop (default 2 extra
+	// passes after the initial one).
+	MaxPasses int
+	// MaxInflate caps a cell's cumulative width inflation (default 2.0).
+	MaxInflate float64
+	// TargetOverflow stops the loop once OVFL-5 is at or below it.
+	TargetOverflow float64
+}
+
+// RoutabilityResult reports the loop's outcome.
+type RoutabilityResult struct {
+	// Passes is the number of placement passes executed (>= 1).
+	Passes int
+	// Initial and Final congestion scores.
+	Initial, Final *RouteResult
+	// Final placement (original cell sizes, legal).
+	X, Y []float64
+	HPWL float64
+	// InflatedCells is the number of distinct cells inflated.
+	InflatedCells int
+}
+
+// RunRoutabilityFlow runs the placement flow, scores congestion, inflates
+// cells in overflowed gcells and re-places until the OVFL-5 target or the
+// pass budget is reached. The returned placement uses the ORIGINAL cell
+// sizes (shrinking an inflated legal placement preserves legality).
+func RunRoutabilityFlow(d *Design, opts RoutabilityOptions) (*RoutabilityResult, error) {
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 2
+	}
+	if opts.MaxInflate == 0 {
+		opts.MaxInflate = 2.0
+	}
+	res := &RoutabilityResult{}
+	inflation := make([]float64, d.NumCells())
+	for i := range inflation {
+		inflation[i] = 1
+	}
+
+	work := d
+	var finalX, finalY []float64
+	for pass := 0; ; pass++ {
+		fr, err := RunFlow(work, opts.Flow)
+		if err != nil {
+			return nil, fmt.Errorf("xplace: routability pass %d: %w", pass, err)
+		}
+		res.Passes++
+		finalX, finalY = fr.FinalX, fr.FinalY
+		rt := router.Route(d, finalX, finalY, opts.Route)
+		if res.Initial == nil {
+			res.Initial = rt
+		}
+		res.Final = rt
+		if rt.Top5Overflow <= opts.TargetOverflow || pass >= opts.MaxPasses {
+			break
+		}
+		// Inflate movable cells in overflowed gcells.
+		grew := false
+		for c := 0; c < d.NumCells(); c++ {
+			if d.CellKind[c] != netlist.Movable {
+				continue
+			}
+			b := rt.Grid.BinIndex(geom.Point{X: finalX[c], Y: finalY[c]})
+			if rt.GCellOverflow[b] <= 0 {
+				continue
+			}
+			f := 1 + rt.GCellOverflow[b]/(4*rt.Capacity)
+			if f > 1.5 {
+				f = 1.5
+			}
+			ni := inflation[c] * f
+			if ni > opts.MaxInflate {
+				ni = opts.MaxInflate
+			}
+			if ni > inflation[c] {
+				inflation[c] = ni
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+		// Rebuild the working design with inflated widths, quantized to
+		// whole sites so legality and site alignment survive shrinking.
+		siteW := 1.0
+		if len(d.Rows) > 0 && d.Rows[0].SiteWidth > 0 {
+			siteW = d.Rows[0].SiteWidth
+		}
+		work = d.Clone()
+		for c := 0; c < d.NumCells(); c++ {
+			if inflation[c] > 1 {
+				w := d.CellW[c] * inflation[c]
+				sites := int(w/siteW + 0.999999)
+				work.CellW[c] = float64(sites) * siteW
+			}
+		}
+		if err := work.Finish(); err != nil {
+			return nil, fmt.Errorf("xplace: routability inflation: %w", err)
+		}
+	}
+	for _, f := range inflation {
+		if f > 1 {
+			res.InflatedCells++
+		}
+	}
+	// Shrink inflated cells back to their original widths keeping the
+	// LOWER-LEFT edge (the site-aligned anchor); the original footprint
+	// stays inside the inflated one, so the placement remains legal.
+	res.X = append([]float64(nil), finalX...)
+	res.Y = append([]float64(nil), finalY...)
+	for c := 0; c < d.NumCells(); c++ {
+		if work != d && d.CellKind[c] == netlist.Movable && inflation[c] > 1 {
+			lowerLeft := finalX[c] - work.CellW[c]/2
+			res.X[c] = lowerLeft + d.CellW[c]/2
+		}
+	}
+	res.HPWL = d.HPWL(res.X, res.Y)
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package xplace
+
+import "testing"
+
+func TestRoutabilityFlowReducesCongestion(t *testing.T) {
+	d, err := GenerateBenchmark("fft_1", 0.03, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RoutabilityOptions{
+		Flow: FlowOptions{
+			Placement: DefaultPlacement(),
+			Legalizer: LegalizeTetris,
+		},
+		Route:          RouteOptions{Grid: 32, Capacity: 2},
+		MaxPasses:      2,
+		TargetOverflow: 0,
+	}
+	opts.Flow.Placement.Sched.MaxIter = 400
+	res, err := RunRoutabilityFlow(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 1 || res.Initial == nil || res.Final == nil {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+	// Final placement legal with ORIGINAL sizes.
+	if v := CheckLegal(d, res.X, res.Y); v != 0 {
+		t.Errorf("%d violations in routability result", v)
+	}
+	if res.Passes > 1 {
+		if res.InflatedCells == 0 {
+			t.Error("multiple passes but no inflated cells")
+		}
+		if res.Final.Top5Overflow > res.Initial.Top5Overflow*1.05 {
+			t.Errorf("congestion got worse: %.3f -> %.3f",
+				res.Initial.Top5Overflow, res.Final.Top5Overflow)
+		}
+		t.Logf("OVFL-5 %.3f -> %.3f over %d passes (%d cells inflated), HPWL %.4g",
+			res.Initial.Top5Overflow, res.Final.Top5Overflow,
+			res.Passes, res.InflatedCells, res.HPWL)
+	} else {
+		t.Logf("already under target after one pass (OVFL-5 %.3f)", res.Final.Top5Overflow)
+	}
+}
+
+func TestRoutabilityFlowStopsAtTarget(t *testing.T) {
+	d, err := GenerateBenchmark("fft_2", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RoutabilityOptions{
+		Flow: FlowOptions{
+			Placement: DefaultPlacement(),
+			Legalizer: LegalizeTetris,
+		},
+		// Generous capacity: no congestion, so one pass suffices.
+		Route:          RouteOptions{Grid: 32, Capacity: 50},
+		MaxPasses:      3,
+		TargetOverflow: 0.5,
+	}
+	opts.Flow.Placement.Sched.MaxIter = 300
+	res, err := RunRoutabilityFlow(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes != 1 {
+		t.Errorf("uncongested design should stop after 1 pass, ran %d", res.Passes)
+	}
+	if res.InflatedCells != 0 {
+		t.Errorf("no inflation expected, got %d", res.InflatedCells)
+	}
+}

@@ -1,0 +1,211 @@
+// Package xplace is a pure-Go reproduction of "Xplace: An Extremely Fast
+// and Extensible Global Placement Framework" (Liu, Fu, Wong, Young —
+// DAC 2022): an electrostatics-based (ePlace-family) analytical global
+// placer with the paper's operator-level optimizations, placement-stage-
+// aware parameter scheduling, a DREAMPlace-style autograd baseline for
+// comparison, and the Fourier-neural-operator extension (Xplace-NN).
+//
+// The GPU of the original system is modelled by a kernel-execution engine
+// (worker-pool parallel kernels plus an explicit kernel-launch cost on a
+// simulated clock); see DESIGN.md for the full substitution map.
+//
+// Quick start:
+//
+//	d, _ := xplace.GenerateBenchmark("adaptec1", 0.02, 1)
+//	res, _ := xplace.Place(d, xplace.DefaultPlacement())
+//	fmt.Println(res.HPWL)
+//
+// or run the full flow (global placement, legalization, detailed
+// placement, optional routability scoring) with RunFlow.
+package xplace
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/bookshelf"
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/lefdef"
+	"xplace/internal/netlist"
+	"xplace/internal/nn"
+	"xplace/internal/placer"
+	"xplace/internal/router"
+	"xplace/internal/sched"
+	"xplace/internal/viz"
+)
+
+// Core data-model names, re-exported for API users (internal packages are
+// not importable outside this module).
+type (
+	// Design is a placement instance: cells, nets, pins, rows, region.
+	Design = netlist.Design
+	// Row is one placement row.
+	Row = netlist.Row
+	// CellKind classifies cells (Movable, Fixed, Filler).
+	CellKind = netlist.CellKind
+	// Rect is an axis-aligned rectangle.
+	Rect = geom.Rect
+	// Engine executes placement kernels (the simulated GPU).
+	Engine = kernel.Engine
+	// EngineStats is an Engine accounting snapshot.
+	EngineStats = kernel.Stats
+	// PlacementOptions configures global placement.
+	PlacementOptions = placer.Options
+	// PlacementResult is a global placement outcome.
+	PlacementResult = placer.Result
+	// SchedOptions configures parameter scheduling.
+	SchedOptions = sched.Options
+	// BenchmarkSpec describes a contest design's published statistics.
+	BenchmarkSpec = benchgen.Spec
+	// RouteResult is a congestion-scoring outcome.
+	RouteResult = router.Result
+	// RouteOptions configures the global router.
+	RouteOptions = router.Options
+	// Model is the Fourier-neural-operator field predictor (Xplace-NN).
+	Model = nn.Model
+	// ModelConfig describes the FNO architecture.
+	ModelConfig = nn.Config
+	// TrainSample is one FNO training example.
+	TrainSample = nn.Sample
+	// TrainOptions configures FNO training.
+	TrainOptions = nn.TrainOptions
+	// LEFLibrary is a parsed LEF cell library.
+	LEFLibrary = lefdef.Library
+)
+
+// Cell kinds.
+const (
+	Movable = netlist.Movable
+	Fixed   = netlist.Fixed
+	Filler  = netlist.Filler
+)
+
+// Wirelength models (the swappable gradient function of the core engine).
+const (
+	// WLWeightedAverage is the paper's WA model (Eq. 4/6).
+	WLWeightedAverage = placer.WLWeightedAverage
+	// WLLogSumExp is the classic LSE alternative.
+	WLLogSumExp = placer.WLLogSumExp
+)
+
+// NewDesign creates an empty design over the region [0,w] x [0,h].
+// Populate it with AddCell/AddNet/AddPin and seal it with Finish.
+func NewDesign(name string, w, h float64) *Design {
+	return netlist.NewDesign(name, geom.Rect{Hx: w, Hy: h})
+}
+
+// NewEngine creates a kernel-execution engine. workers <= 0 selects
+// NumCPU; launchOverhead < 0 selects the default simulated CUDA launch
+// cost, 0 disables the launch-cost model.
+func NewEngine(workers int, launchOverhead time.Duration) *Engine {
+	return kernel.New(kernel.Options{Workers: workers, LaunchOverhead: launchOverhead})
+}
+
+// DefaultPlacement returns the paper's full Xplace configuration (all
+// operator-level optimizations and stage-aware scheduling on).
+func DefaultPlacement() PlacementOptions { return placer.Defaults() }
+
+// BaselinePlacement returns the DREAMPlace-style comparator configuration
+// (autograd gradients, no fusion/extraction/skipping).
+func BaselinePlacement() PlacementOptions { return placer.BaselineDefaults() }
+
+// NewPlacer prepares a reusable placer for one design on one engine.
+func NewPlacer(d *Design, e *Engine, opts PlacementOptions) (*placer.Placer, error) {
+	return placer.New(d, e, opts)
+}
+
+// Place runs global placement to convergence on a default engine.
+func Place(d *Design, opts PlacementOptions) (*PlacementResult, error) {
+	p, err := placer.New(d, kernel.NewDefault(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// GenerateBenchmark synthesizes a contest design by name (Table 1 of the
+// paper; see Catalog2005/Catalog2015) at the given scale.
+func GenerateBenchmark(name string, scale float64, seed int64) (*Design, error) {
+	spec, ok := benchgen.FindSpec(name)
+	if !ok {
+		return nil, fmt.Errorf("xplace: unknown benchmark %q", name)
+	}
+	return benchgen.Generate(spec, scale, seed), nil
+}
+
+// GenerateFromSpec synthesizes a design from an explicit spec.
+func GenerateFromSpec(spec BenchmarkSpec, scale float64, seed int64) *Design {
+	return benchgen.Generate(spec, scale, seed)
+}
+
+// Catalog2005 lists the eight ISPD 2005 contest designs.
+func Catalog2005() []BenchmarkSpec { return benchgen.Catalog2005() }
+
+// Catalog2015 lists the twenty ISPD 2015 contest designs.
+func Catalog2015() []BenchmarkSpec { return benchgen.Catalog2015() }
+
+// ReadBookshelf loads a bookshelf design from its .aux file.
+func ReadBookshelf(auxPath string) (*Design, error) { return bookshelf.ReadAux(auxPath) }
+
+// WriteBookshelf writes the design as bookshelf files into dir.
+func WriteBookshelf(dir, base string, d *Design) error { return bookshelf.Write(dir, base, d) }
+
+// WritePlacementPl writes a bookshelf .pl with the given center positions.
+func WritePlacementPl(path string, d *Design, x, y []float64) error {
+	return bookshelf.WritePl(path, d, x, y)
+}
+
+// ReadLEF parses a LEF cell library.
+func ReadLEF(r io.Reader) (*LEFLibrary, error) { return lefdef.ParseLEF(r) }
+
+// ReadDEF parses a DEF design against a LEF library.
+func ReadDEF(r io.Reader, lib *LEFLibrary) (*Design, error) { return lefdef.ParseDEF(r, lib) }
+
+// WriteDEF writes the design as DEF with the given center positions.
+func WriteDEF(w io.Writer, d *Design, x, y []float64) error { return lefdef.WriteDEF(w, d, x, y) }
+
+// RouteEstimate scores a placement's routability (the OVFL-5 metric of
+// Table 4). Pass nil positions to use the design's stored ones.
+func RouteEstimate(d *Design, x, y []float64, opts RouteOptions) *RouteResult {
+	return router.Route(d, x, y, opts)
+}
+
+// NewModel builds an untrained FNO (§3.3). DefaultModelConfig matches the
+// paper's ~471k-parameter scale.
+func NewModel(cfg ModelConfig) *Model { return nn.NewModel(cfg) }
+
+// DefaultModelConfig is the paper-scale FNO architecture.
+func DefaultModelConfig() ModelConfig { return nn.DefaultConfig() }
+
+// GenerateTrainingSamples builds random density maps with numerically
+// solved field labels (the paper's training-data recipe).
+func GenerateTrainingSamples(n, h, w int, seed int64) []TrainSample {
+	return nn.GenerateSamples(n, h, w, seed)
+}
+
+// NewFieldPredictor adapts a trained model to PlacementOptions.Predictor,
+// turning the placer into Xplace-NN.
+func NewFieldPredictor(m *Model) placer.FieldPredictor { return &nn.Predictor{M: m} }
+
+// LoadModel restores a model saved with Model.Save.
+func LoadModel(r io.Reader) (*Model, error) { return nn.Load(r) }
+
+// WriteSVG renders a placement as SVG (cells colored by kind, fences
+// dashed, optional net flylines). Pass nil positions for stored ones.
+func WriteSVG(w io.Writer, d *Design, x, y []float64, opts SVGOptions) error {
+	return viz.WriteSVG(w, d, x, y, opts)
+}
+
+// SVGOptions tunes WriteSVG.
+type SVGOptions = viz.SVGOptions
+
+// WriteHeatmapPGM renders a bin map (density, congestion) as a PGM image.
+func WriteHeatmapPGM(w io.Writer, data []float64, nx, ny int) error {
+	return viz.WritePGM(w, data, nx, ny)
+}
+
+// ASCIIHeatmap renders a bin map as a text heatmap for logs.
+func ASCIIHeatmap(data []float64, nx, ny int) string { return viz.ASCIIHeatmap(data, nx, ny) }
