@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Kernel-substrate and transform microbenchmarks (pool vs goroutine-spawn
+# dispatch, DCT round trips). Allocation columns are the regression signal:
+# pooled launches and warm transforms must report 0 allocs/op.
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./internal/kernel ./internal/dct
+
+check: vet build race

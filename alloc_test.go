@@ -1,0 +1,39 @@
+package xplace
+
+// Allocation-regression tests for the execution substrate: after warm-up,
+// the steady-state GP loop must not touch the Go heap — all scratch comes
+// from the engine arena and all kernel bodies are persistent closures with
+// staged parameters. A regression here means a per-iteration make() or an
+// escaping closure crept back into a hot path.
+
+import (
+	"testing"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/placer"
+)
+
+// TestSteadyStateIterationAllocFree: one full Xplace GP iteration (fused
+// wirelength + gradient, density solve, deferred metrics sync) performs
+// zero heap allocations once warm.
+func TestSteadyStateIterationAllocFree(t *testing.T) {
+	spec, _ := benchgen.FindSpec("adaptec1")
+	d := benchgen.Generate(spec, benchScale, 1)
+	p, err := placer.New(d, benchEngine(), DefaultPlacement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state GP iteration allocs = %v, want 0", allocs)
+	}
+}

@@ -120,6 +120,31 @@ func BenchmarkTable4ISPD2015(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceIteration measures one steady-state GP iteration of the
+// Xplace fast path — the allocation-regression benchmark: after the
+// engine-owned buffer arena, allocs/op must stay near zero.
+func BenchmarkPlaceIteration(b *testing.B) {
+	spec, _ := benchgen.FindSpec("adaptec1")
+	d := benchgen.Generate(spec, benchScale, 1)
+	p, err := placer.New(d, benchEngine(), DefaultPlacement())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past lambda initialization and first-iteration setup.
+	for i := 0; i < 5; i++ {
+		if err := p.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.RunIteration(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFigure2OperatorTrace measures one traced GP iteration (the
 // Figure 2a dataflow capture).
 func BenchmarkFigure2OperatorTrace(b *testing.B) {

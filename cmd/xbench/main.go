@@ -44,6 +44,7 @@ var (
 	quick     = flag.Bool("quick", false, "run a 3-design subset of each suite")
 	table     = flag.Int("table", 0, "regenerate one table (1-4)")
 	figure    = flag.String("figure", "", "regenerate one figure (2, 3, r)")
+	substrate = flag.Bool("substrate", false, "report execution-substrate stats (arena, per-op allocs)")
 	all       = flag.Bool("all", false, "regenerate every table and figure")
 )
 
@@ -56,7 +57,7 @@ func engine() *kernel.Engine {
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *figure == "" {
+	if !*all && *table == 0 && *figure == "" && !*substrate {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,6 +82,45 @@ func main() {
 	if *all || *figure == "r" {
 		figureR()
 	}
+	if *all || *substrate {
+		substrateReport()
+	}
+}
+
+// -------------------------------------------------------------- substrate
+
+// substrateReport runs a short GP on each engine mode and prints the
+// execution-substrate accounting: launches, buffer-arena traffic (hits /
+// misses / peak bytes), and per-op arena checkout counts. The Xplace path
+// is expected to show zero steady-state arena traffic (all hot-loop
+// scratch is persistent), while the autograd baseline checks backward
+// scratch out of the arena every iteration.
+func substrateReport() {
+	fmt.Println("== Execution substrate: worker pool + buffer arena ==")
+	d, _ := xplace.GenerateBenchmark("adaptec1", *scale2005, *seed)
+	for _, mode := range []struct {
+		name string
+		opts xplace.PlacementOptions
+	}{
+		{"Xplace", xplace.DefaultPlacement()},
+		{"DREAMPlace-style baseline", xplace.BaselinePlacement()},
+	} {
+		e := engine()
+		opts := mode.opts
+		opts.Seed = *seed
+		p, err := placer.New(d, e, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "substrate:", err)
+			return
+		}
+		if _, err := p.RunIterations(50); err != nil {
+			fmt.Fprintln(os.Stderr, "substrate:", err)
+			return
+		}
+		fmt.Printf("\n-- %s (50 iters, %d workers) --\n%s", mode.name, e.Workers(), e.Stats())
+		e.Close()
+	}
+	fmt.Println()
 }
 
 func subset(specs []benchgen.Spec, n int) []benchgen.Spec {

@@ -38,6 +38,7 @@ func main() {
 		out       = flag.String("out", "", "write placed .pl file")
 		svg       = flag.String("svg", "", "write placement SVG image")
 		trace     = flag.Bool("trace", false, "dump per-iteration metrics CSV to stdout")
+		stats     = flag.Bool("stats", false, "print GP engine stats (launches, arena, per-op allocs)")
 		list      = flag.Bool("list", false, "list available synthetic benchmarks")
 	)
 	flag.Parse()
@@ -73,7 +74,9 @@ func main() {
 	fmt.Printf("design %s: %d cells (%d movable, %d fixed), %d nets, %d pins, util %.2f\n",
 		st.Name, st.Cells, st.Movable, st.Fixed, st.Nets, st.Pins, st.Util)
 
-	opts := xplace.FlowOptions{Workers: *workers, LaunchOverhead: -1}
+	eng := xplace.NewEngine(*workers, -1)
+	defer eng.Close()
+	opts := xplace.FlowOptions{Engine: eng}
 	switch *mode {
 	case "baseline":
 		opts.Placement = xplace.BaselinePlacement()
@@ -125,6 +128,9 @@ func main() {
 	if fr.Route != nil {
 		fmt.Printf("route: OVFL-5 %.2f  total overflow %.0f  wirelength %d gcells\n",
 			fr.Route.Top5Overflow, fr.Route.TotalOverflow, fr.Route.WirelengthGCells)
+	}
+	if *stats {
+		fmt.Print("GP engine stats:\n", eng.Stats())
 	}
 	if *trace {
 		if err := fr.GP.Recorder.WriteCSV(os.Stdout); err != nil {

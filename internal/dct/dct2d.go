@@ -3,15 +3,51 @@ package dct
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Plan holds precomputed state for 2-D transforms on an Nx x Ny grid
 // (row-major indexing: f[y*Nx+x]). Both dimensions must be powers of two.
-// A Plan is safe for concurrent use once created.
+//
+// A Plan owns all scratch for its transforms — the intermediate matrix,
+// per-chunk FFT buffers, and column gather/scatter buffers — so steady-state
+// transforms perform no heap allocations. Transforms are serialized by an
+// internal mutex, keeping a Plan safe for concurrent use.
 type Plan struct {
 	Nx, Ny int
 	rowFFT *fftPlan // length 2*Nx
 	colFFT *fftPlan // length 2*Ny
+
+	// Half-angle twiddles cos/sin(pi*k/(2N)), precomputed once.
+	cosHx, sinHx []float64
+	cosHy, sinHy []float64
+
+	mu  sync.Mutex
+	tmp []float64 // nx*ny intermediate (rows pass output)
+
+	// Per-chunk scratch, grown on demand to the launcher's worker count.
+	scratchRow [][]complex128 // 2*nx each
+	scratchCol [][]complex128 // 2*ny each
+	colBuf     [][]float64    // ny each
+	outBuf     [][]float64    // ny each
+
+	// Per-transform parameters consumed by the persistent bodies. Stored in
+	// fields (rather than captured by per-call closures) so launching a
+	// transform does not allocate.
+	src, dst   []float64
+	sinX, sinY bool
+	forward    bool
+
+	rowsBody, colsBody func(chunk, start, end int)
+}
+
+// Launcher abstracts kernel.Engine for data-parallel execution so this
+// package stays dependency-free. LaunchChunks hands each worker a chunk
+// index (used to select private scratch); Workers bounds those indices.
+type Launcher interface {
+	Launch(name string, n int, body func(start, end int))
+	LaunchChunks(name string, n int, body func(chunk, start, end int)) int
+	Workers() int
 }
 
 // NewPlan creates a transform plan for an Nx x Ny grid.
@@ -19,13 +55,73 @@ func NewPlan(nx, ny int) *Plan {
 	if nx <= 0 || ny <= 0 || nx&(nx-1) != 0 || ny&(ny-1) != 0 {
 		panic(fmt.Sprintf("dct: grid %dx%d must be powers of two", nx, ny))
 	}
-	return &Plan{Nx: nx, Ny: ny, rowFFT: newFFTPlan(2 * nx), colFFT: newFFTPlan(2 * ny)}
+	p := &Plan{Nx: nx, Ny: ny, rowFFT: newFFTPlan(2 * nx), colFFT: newFFTPlan(2 * ny)}
+	p.cosHx, p.sinHx = halfTwiddles(nx)
+	p.cosHy, p.sinHy = halfTwiddles(ny)
+	p.tmp = make([]float64, nx*ny)
+	p.rowsBody = func(chunk, lo, hi int) {
+		scratch := p.scratchRow[chunk]
+		if p.forward {
+			for y := lo; y < hi; y++ {
+				dctIIRow(p.src[y*nx:(y+1)*nx], p.tmp[y*nx:(y+1)*nx], p.rowFFT, scratch, p.cosHx, p.sinHx)
+			}
+		} else {
+			for v := lo; v < hi; v++ {
+				evalRow(p.src[v*nx:(v+1)*nx], p.tmp[v*nx:(v+1)*nx], p.rowFFT, scratch, p.cosHx, p.sinHx, p.sinX)
+			}
+		}
+	}
+	p.colsBody = func(chunk, lo, hi int) {
+		ny := p.Ny
+		scratch := p.scratchCol[chunk]
+		col := p.colBuf[chunk]
+		out := p.outBuf[chunk]
+		for x := lo; x < hi; x++ {
+			for y := 0; y < ny; y++ {
+				col[y] = p.tmp[y*nx+x]
+			}
+			if p.forward {
+				dctIIRow(col, out, p.colFFT, scratch, p.cosHy, p.sinHy)
+			} else {
+				evalRow(col, out, p.colFFT, scratch, p.cosHy, p.sinHy, p.sinY)
+			}
+			for y := 0; y < ny; y++ {
+				p.dst[y*nx+x] = out[y]
+			}
+		}
+	}
+	return p
 }
 
 func (p *Plan) checkSize(buf []float64, what string) {
 	if len(buf) != p.Nx*p.Ny {
 		panic(fmt.Sprintf("dct: %s has %d elements, want %d", what, len(buf), p.Nx*p.Ny))
 	}
+}
+
+// ensureChunks grows the per-chunk scratch pools to at least w entries.
+// Called with p.mu held; allocates only when the worker count first grows.
+func (p *Plan) ensureChunks(w int) {
+	if w < 1 {
+		w = 1
+	}
+	for len(p.scratchRow) < w {
+		p.scratchRow = append(p.scratchRow, make([]complex128, 2*p.Nx))
+		p.scratchCol = append(p.scratchCol, make([]complex128, 2*p.Ny))
+		p.colBuf = append(p.colBuf, make([]float64, p.Ny))
+		p.outBuf = append(p.outBuf, make([]float64, p.Ny))
+	}
+}
+
+// run executes the two-pass (rows then columns) transform with the
+// parameters already staged in p's fields. Caller must hold p.mu. The two
+// kernel names are passed as literals by each transform so launching never
+// builds a string.
+func (p *Plan) run(L Launcher, rowsName, colsName string) {
+	p.ensureChunks(L.Workers())
+	L.LaunchChunks(rowsName, p.Ny, p.rowsBody)
+	L.LaunchChunks(colsName, p.Nx, p.colsBody)
+	p.src, p.dst = nil, nil
 }
 
 // dctIIRow computes the unnormalized 1-D DCT-II of src into dst using the
@@ -89,85 +185,39 @@ func (p *Plan) DCT2(src, dst []float64, L Launcher) {
 	if L == nil {
 		L = Serial
 	}
-	nx, ny := p.Nx, p.Ny
-	cosHx, sinHx := halfTwiddles(nx)
-	cosHy, sinHy := halfTwiddles(ny)
-	// negate sin for forward (e^{-i pi k/2N}): re = Re*cos + Im*sin handled
-	// in dctIIRow with positive sin, matching e^{-i t}: Re(e^{-it} Y) =
-	// cos(t)*Re(Y) + sin(t)*Im(Y). So pass sinH as is.
-	tmp := make([]float64, nx*ny)
-	// Rows.
-	L.Launch("dct2.rows", ny, func(lo, hi int) {
-		scratch := make([]complex128, 2*nx)
-		for y := lo; y < hi; y++ {
-			dctIIRow(src[y*nx:(y+1)*nx], tmp[y*nx:(y+1)*nx], p.rowFFT, scratch, cosHx, sinHx)
-		}
-	})
-	// Columns.
-	L.Launch("dct2.cols", nx, func(lo, hi int) {
-		scratch := make([]complex128, 2*ny)
-		col := make([]float64, ny)
-		out := make([]float64, ny)
-		for x := lo; x < hi; x++ {
-			for y := 0; y < ny; y++ {
-				col[y] = tmp[y*nx+x]
-			}
-			dctIIRow(col, out, p.colFFT, scratch, cosHy, sinHy)
-			for y := 0; y < ny; y++ {
-				dst[y*nx+x] = out[y]
-			}
-		}
-	})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src, p.dst, p.forward = src, dst, true
+	p.run(L, "dct2.rows", "dct2.cols")
 }
 
 // eval2D is the shared implementation of the three evaluation transforms.
-func (p *Plan) eval2D(coef, dst []float64, L Launcher, sinX, sinY bool, name string) {
+func (p *Plan) eval2D(coef, dst []float64, L Launcher, sinX, sinY bool, rowsName, colsName string) {
 	p.checkSize(coef, "coef")
 	p.checkSize(dst, "dst")
 	if L == nil {
 		L = Serial
 	}
-	nx, ny := p.Nx, p.Ny
-	cosHx, sinHx := halfTwiddles(nx)
-	cosHy, sinHy := halfTwiddles(ny)
-	tmp := make([]float64, nx*ny)
-	// Evaluate along x (rows of the coefficient matrix: index u).
-	L.Launch(name+".rows", ny, func(lo, hi int) {
-		scratch := make([]complex128, 2*nx)
-		for v := lo; v < hi; v++ {
-			evalRow(coef[v*nx:(v+1)*nx], tmp[v*nx:(v+1)*nx], p.rowFFT, scratch, cosHx, sinHx, sinX)
-		}
-	})
-	// Evaluate along y (columns: index v).
-	L.Launch(name+".cols", nx, func(lo, hi int) {
-		scratch := make([]complex128, 2*ny)
-		col := make([]float64, ny)
-		out := make([]float64, ny)
-		for x := lo; x < hi; x++ {
-			for v := 0; v < ny; v++ {
-				col[v] = tmp[v*nx+x]
-			}
-			evalRow(col, out, p.colFFT, scratch, cosHy, sinHy, sinY)
-			for y := 0; y < ny; y++ {
-				dst[y*nx+x] = out[y]
-			}
-		}
-	})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.src, p.dst, p.forward = coef, dst, false
+	p.sinX, p.sinY = sinX, sinY
+	p.run(L, rowsName, colsName)
 }
 
 // EvalCosCos evaluates the cos-cos series (inverse DCT direction):
 // dst[y][x] = sum_{v,u} coef[v][u] cos(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
 func (p *Plan) EvalCosCos(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, false, false, "idct2")
+	p.eval2D(coef, dst, L, false, false, "idct2.rows", "idct2.cols")
 }
 
 // EvalSinCos evaluates the sin-in-x, cos-in-y series (the x electric field):
 // dst[y][x] = sum_{v,u} coef[v][u] sin(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
 func (p *Plan) EvalSinCos(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, true, false, "idsct2")
+	p.eval2D(coef, dst, L, true, false, "idsct2.rows", "idsct2.cols")
 }
 
 // EvalCosSin evaluates the cos-in-x, sin-in-y series (the y electric field).
 func (p *Plan) EvalCosSin(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, false, true, "idcst2")
+	p.eval2D(coef, dst, L, false, true, "idcst2.rows", "idcst2.cols")
 }

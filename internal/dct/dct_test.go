@@ -277,3 +277,23 @@ func BenchmarkFFT1024(b *testing.B) {
 		FFT(buf)
 	}
 }
+
+// TestDCT2DRoundTripAllocFree: once the plan's per-chunk scratch is warm,
+// a full DCT2 + EvalCosCos round trip performs zero heap allocations.
+func TestDCT2DRoundTripAllocFree(t *testing.T) {
+	nx, ny := 64, 64
+	f := randGrid(nx, ny, 17)
+	p := NewPlan(nx, ny)
+	coef := make([]float64, nx*ny)
+	out := make([]float64, nx*ny)
+	// Warm up the per-chunk scratch.
+	p.DCT2(f, coef, Serial)
+	p.EvalCosCos(coef, out, Serial)
+	allocs := testing.AllocsPerRun(50, func() {
+		p.DCT2(f, coef, Serial)
+		p.EvalCosCos(coef, out, Serial)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state DCT2D round-trip allocs = %v, want 0", allocs)
+	}
+}

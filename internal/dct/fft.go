@@ -27,12 +27,6 @@ import (
 	"math/bits"
 )
 
-// Launcher abstracts kernel.Engine for data-parallel execution so this
-// package stays dependency-free.
-type Launcher interface {
-	Launch(name string, n int, body func(start, end int))
-}
-
 // serialLauncher runs bodies inline; used when no engine is supplied.
 type serialLauncher struct{}
 
@@ -41,6 +35,16 @@ func (serialLauncher) Launch(_ string, n int, body func(int, int)) {
 		body(0, n)
 	}
 }
+
+func (serialLauncher) LaunchChunks(_ string, n int, body func(int, int, int)) int {
+	if n > 0 {
+		body(0, 0, n)
+		return 1
+	}
+	return 0
+}
+
+func (serialLauncher) Workers() int { return 1 }
 
 // Serial is a Launcher that executes everything on the calling goroutine.
 var Serial Launcher = serialLauncher{}

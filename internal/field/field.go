@@ -13,6 +13,12 @@
 //
 // Internally the electrostatic system lives in bin units (the region maps
 // to [0,Nx) x [0,Ny)); GatherField converts gradients back to design units.
+//
+// All kernel bodies are built once at NewSystem and reused every launch,
+// with per-call parameters staged in System fields: per-iteration operator
+// calls are allocation-free (closure capture would otherwise heap-allocate
+// on every call). A System is therefore single-flight: drive it from one
+// placement loop at a time.
 package field
 
 import (
@@ -67,7 +73,38 @@ type System struct {
 	wu, wv  []float64 // frequencies pi*u/Nx, pi*v/Ny
 	scratch [][]float64
 	workers int
+
+	// Staged parameters for the persistent kernel bodies below. Set by the
+	// exported methods immediately before launching; never read outside a
+	// launch.
+	scD          *netlist.Design
+	scX, scY     []float64
+	scMask       KindMask
+	scOut        []float64
+	scUsed       int
+	addA, addB   []float64
+	addDst       []float64
+	gaD          *netlist.Design
+	gaX, gaY     []float64
+	gaMask       KindMask
+	gaGX, gaGY   []float64
+	ovDens       []float64
+	ovTarget     float64
+	maxDens      []float64
+	mergeNames   map[string]string // scatter name -> name+".merge" (interned)
+	scatterBody  func(w, lo, hi int)
+	mergeBody    func(lo, hi int)
+	addBody      func(lo, hi int)
+	spectralBody func(lo, hi int)
+	exCoefBody   func(lo, hi int)
+	eyCoefBody   func(lo, hi int)
+	energyBody   func(lo, hi int) float64
+	gatherBody   func(lo, hi int)
+	ovBody       func(lo, hi int) float64
+	maxBody      func(lo, hi int) float64
 }
+
+func sumCombine(a, b float64) float64 { return a + b }
 
 // NewSystem creates an electrostatic system on grid with per-worker
 // scatter buffers for engine e. Grid dimensions must be powers of two.
@@ -89,6 +126,8 @@ func NewSystem(grid geom.Grid, e *kernel.Engine) *System {
 		wu:      make([]float64, nx),
 		wv:      make([]float64, ny),
 		workers: e.Workers(),
+
+		mergeNames: make(map[string]string),
 	}
 	for u := 0; u < nx; u++ {
 		s.wu[u] = math.Pi * float64(u) / float64(nx)
@@ -100,7 +139,153 @@ func NewSystem(grid geom.Grid, e *kernel.Engine) *System {
 	for w := range s.scratch {
 		s.scratch[w] = make([]float64, nx*ny)
 	}
+	s.buildBodies()
 	return s
+}
+
+// buildBodies constructs the persistent kernel bodies once. Each reads its
+// parameters from the staged s.* fields at execution time.
+func (s *System) buildBodies() {
+	nx, ny := s.Nx, s.Ny
+	invBinArea := 1 / s.Grid.BinArea()
+	binArea := s.Grid.BinArea()
+	s.scatterBody = func(w, lo, hi int) {
+		d, x, y, mask := s.scD, s.scX, s.scY, s.scMask
+		buf := s.scratch[w]
+		for i := range buf {
+			buf[i] = 0
+		}
+		for c := lo; c < hi; c++ {
+			if !mask.Has(d.CellKind[c]) {
+				continue
+			}
+			r, scale := s.expandedRect(d, c, x[c], y[c])
+			r = r.Intersect(s.Grid.Region)
+			if r.Empty() {
+				continue
+			}
+			x0, x1, y0, y1 := s.Grid.BinRange(r)
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					ov := s.Grid.BinRect(ix, iy).Overlap(r)
+					if ov > 0 {
+						buf[iy*s.Nx+ix] += ov * scale
+					}
+				}
+			}
+		}
+	}
+	s.mergeBody = func(lo, hi int) {
+		out, used := s.scOut, s.scUsed
+		for b := lo; b < hi; b++ {
+			var sum float64
+			for w := 0; w < used; w++ {
+				sum += s.scratch[w][b]
+			}
+			out[b] = sum * invBinArea
+		}
+	}
+	s.addBody = func(lo, hi int) {
+		a, b, dst := s.addA, s.addB, s.addDst
+		for i := lo; i < hi; i++ {
+			dst[i] = a[i] + b[i]
+		}
+	}
+	s.spectralBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			fv := 2 / float64(ny)
+			if v == 0 {
+				fv = 1 / float64(ny)
+			}
+			wv2 := s.wv[v] * s.wv[v]
+			for u := 0; u < nx; u++ {
+				fu := 2 / float64(nx)
+				if u == 0 {
+					fu = 1 / float64(nx)
+				}
+				idx := v*nx + u
+				if u == 0 && v == 0 {
+					s.coef[idx] = 0
+					continue
+				}
+				s.coef[idx] *= fu * fv / (s.wu[u]*s.wu[u] + wv2)
+			}
+		}
+	}
+	s.exCoefBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for u := 0; u < nx; u++ {
+				s.coefE[v*nx+u] = s.coef[v*nx+u] * s.wu[u]
+			}
+		}
+	}
+	s.eyCoefBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			wv := s.wv[v]
+			for u := 0; u < nx; u++ {
+				s.coefE[v*nx+u] = s.coef[v*nx+u] * wv
+			}
+		}
+	}
+	s.energyBody = func(lo, hi int) float64 {
+		var sum float64
+		for i := lo; i < hi; i++ {
+			sum += s.Total[i] * s.Psi[i]
+		}
+		return sum
+	}
+	s.gatherBody = func(lo, hi int) {
+		d, x, y, mask := s.gaD, s.gaX, s.gaY, s.gaMask
+		gradX, gradY := s.gaGX, s.gaGY
+		for c := lo; c < hi; c++ {
+			if !mask.Has(d.CellKind[c]) {
+				gradX[c], gradY[c] = 0, 0
+				continue
+			}
+			r, scale := s.expandedRect(d, c, x[c], y[c])
+			r = r.Intersect(s.Grid.Region)
+			if r.Empty() {
+				gradX[c], gradY[c] = 0, 0
+				continue
+			}
+			x0, x1, y0, y1 := s.Grid.BinRange(r)
+			var fx, fy float64
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					ov := s.Grid.BinRect(ix, iy).Overlap(r)
+					if ov <= 0 {
+						continue
+					}
+					q := ov * scale * invBinArea // charge share in bin units
+					fx += q * s.Ex[iy*s.Nx+ix]
+					fy += q * s.Ey[iy*s.Nx+ix]
+				}
+			}
+			// Energy gradient = -force; convert bin units -> design units.
+			gradX[c] = -fx / s.Grid.Dx
+			gradY[c] = -fy / s.Grid.Dy
+		}
+	}
+	s.ovBody = func(lo, hi int) float64 {
+		dens, target := s.ovDens, s.ovTarget
+		var sum float64
+		for b := lo; b < hi; b++ {
+			if ex := dens[b] - target; ex > 0 {
+				sum += ex * binArea
+			}
+		}
+		return sum
+	}
+	s.maxBody = func(lo, hi int) float64 {
+		dens := s.maxDens
+		m := math.Inf(-1)
+		for b := lo; b < hi; b++ {
+			if dens[b] > m {
+				m = dens[b]
+			}
+		}
+		return m
+	}
 }
 
 // expandedRect returns cell c's footprint (centered at x,y) expanded to at
@@ -136,51 +321,21 @@ func (s *System) ScatterDensity(e *kernel.Engine, d *netlist.Design, x, y []floa
 	if y == nil {
 		y = d.CellY
 	}
-	used := e.LaunchChunks(name, d.NumCells(), func(w, lo, hi int) {
-		buf := s.scratch[w]
-		for i := range buf {
-			buf[i] = 0
-		}
-		for c := lo; c < hi; c++ {
-			if !mask.Has(d.CellKind[c]) {
-				continue
-			}
-			r, scale := s.expandedRect(d, c, x[c], y[c])
-			r = r.Intersect(s.Grid.Region)
-			if r.Empty() {
-				continue
-			}
-			x0, x1, y0, y1 := s.Grid.BinRange(r)
-			for iy := y0; iy < y1; iy++ {
-				for ix := x0; ix < x1; ix++ {
-					ov := s.Grid.BinRect(ix, iy).Overlap(r)
-					if ov > 0 {
-						buf[iy*s.Nx+ix] += ov * scale
-					}
-				}
-			}
-		}
-	})
-	invBinArea := 1 / s.Grid.BinArea()
-	e.Launch(name+".merge", s.Nx*s.Ny, func(lo, hi int) {
-		for b := lo; b < hi; b++ {
-			var sum float64
-			for w := 0; w < used; w++ {
-				sum += s.scratch[w][b]
-			}
-			out[b] = sum * invBinArea
-		}
-	})
+	mergeName, ok := s.mergeNames[name]
+	if !ok {
+		mergeName = name + ".merge"
+		s.mergeNames[name] = mergeName
+	}
+	s.scD, s.scX, s.scY, s.scMask, s.scOut = d, x, y, mask, out
+	s.scUsed = e.LaunchChunks(name, d.NumCells(), s.scatterBody)
+	e.Launch(mergeName, s.Nx*s.Ny, s.mergeBody)
 }
 
 // AddMaps computes dst = a + b elementwise as one (cheap) kernel — the
 // extracted total-map addition of Eq. 10 / Figure 2(a).
 func (s *System) AddMaps(e *kernel.Engine, a, b, dst []float64) {
-	e.Launch("density.add_maps", len(dst), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = a[i] + b[i]
-		}
-	})
+	s.addA, s.addB, s.addDst = a, b, dst
+	e.Launch("density.add_maps", len(dst), s.addBody)
 }
 
 // SolvePoisson solves Eq. 5 for s.Total: forward DCT, spectral division by
@@ -191,57 +346,17 @@ func (s *System) SolvePoisson(e *kernel.Engine) float64 {
 	nx, ny := s.Nx, s.Ny
 	s.plan.DCT2(s.Total, s.coef, e)
 	// Normalize to true series coefficients and divide by (wu^2+wv^2).
-	e.Launch("poisson.spectral_scale", ny, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			fv := 2 / float64(ny)
-			if v == 0 {
-				fv = 1 / float64(ny)
-			}
-			wv2 := s.wv[v] * s.wv[v]
-			for u := 0; u < nx; u++ {
-				fu := 2 / float64(nx)
-				if u == 0 {
-					fu = 1 / float64(nx)
-				}
-				idx := v*nx + u
-				if u == 0 && v == 0 {
-					s.coef[idx] = 0
-					continue
-				}
-				s.coef[idx] *= fu * fv / (s.wu[u]*s.wu[u] + wv2)
-			}
-		}
-	})
+	e.Launch("poisson.spectral_scale", ny, s.spectralBody)
 	// Potential.
 	s.plan.EvalCosCos(s.coef, s.Psi, e)
 	// Ex = -dPsi/dx = sum c*wu*sin(wu(x+1/2))cos(wv(y+1/2)).
-	e.Launch("poisson.ex_coef", ny, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			for u := 0; u < nx; u++ {
-				s.coefE[v*nx+u] = s.coef[v*nx+u] * s.wu[u]
-			}
-		}
-	})
+	e.Launch("poisson.ex_coef", ny, s.exCoefBody)
 	s.plan.EvalSinCos(s.coefE, s.Ex, e)
 	// Ey.
-	e.Launch("poisson.ey_coef", ny, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			wv := s.wv[v]
-			for u := 0; u < nx; u++ {
-				s.coefE[v*nx+u] = s.coef[v*nx+u] * wv
-			}
-		}
-	})
+	e.Launch("poisson.ey_coef", ny, s.eyCoefBody)
 	s.plan.EvalCosSin(s.coefE, s.Ey, e)
 	// Energy.
-	return e.ParallelReduce("poisson.energy", nx*ny, 0,
-		func(lo, hi int) float64 {
-			var sum float64
-			for i := lo; i < hi; i++ {
-				sum += s.Total[i] * s.Psi[i]
-			}
-			return sum
-		}, func(a, b float64) float64 { return a + b }) * 0.5
+	return e.ParallelReduce("poisson.energy", nx*ny, 0, s.energyBody, sumCombine) * 0.5
 }
 
 // GatherField writes the density gradient for every cell selected by mask
@@ -255,53 +370,15 @@ func (s *System) GatherField(e *kernel.Engine, d *netlist.Design, x, y []float64
 	if y == nil {
 		y = d.CellY
 	}
-	invBinArea := 1 / s.Grid.BinArea()
-	e.Launch("density.gather_field", d.NumCells(), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			if !mask.Has(d.CellKind[c]) {
-				gradX[c], gradY[c] = 0, 0
-				continue
-			}
-			r, scale := s.expandedRect(d, c, x[c], y[c])
-			r = r.Intersect(s.Grid.Region)
-			if r.Empty() {
-				gradX[c], gradY[c] = 0, 0
-				continue
-			}
-			x0, x1, y0, y1 := s.Grid.BinRange(r)
-			var fx, fy float64
-			for iy := y0; iy < y1; iy++ {
-				for ix := x0; ix < x1; ix++ {
-					ov := s.Grid.BinRect(ix, iy).Overlap(r)
-					if ov <= 0 {
-						continue
-					}
-					q := ov * scale * invBinArea // charge share in bin units
-					fx += q * s.Ex[iy*s.Nx+ix]
-					fy += q * s.Ey[iy*s.Nx+ix]
-				}
-			}
-			// Energy gradient = -force; convert bin units -> design units.
-			gradX[c] = -fx / s.Grid.Dx
-			gradY[c] = -fy / s.Grid.Dy
-		}
-	})
+	s.gaD, s.gaX, s.gaY, s.gaMask, s.gaGX, s.gaGY = d, x, y, mask, gradX, gradY
+	e.Launch("density.gather_field", d.NumCells(), s.gatherBody)
 }
 
 // Overflow computes the overflow ratio OVFL of Eq. 7 from the cell density
 // map dens (occupancy units) as one kernel.
 func (s *System) Overflow(e *kernel.Engine, d *netlist.Design, dens []float64, targetDensity float64) float64 {
-	binArea := s.Grid.BinArea()
-	over := e.ParallelReduce("density.ovfl", len(dens), 0,
-		func(lo, hi int) float64 {
-			var sum float64
-			for b := lo; b < hi; b++ {
-				if ex := dens[b] - targetDensity; ex > 0 {
-					sum += ex * binArea
-				}
-			}
-			return sum
-		}, func(a, b float64) float64 { return a + b })
+	s.ovDens, s.ovTarget = dens, targetDensity
+	over := e.ParallelReduce("density.ovfl", len(dens), 0, s.ovBody, sumCombine)
 	mov := d.MovableArea()
 	if mov <= 0 {
 		return 0
@@ -312,14 +389,6 @@ func (s *System) Overflow(e *kernel.Engine, d *netlist.Design, dens []float64, t
 // MaxDensity returns the maximum bin occupancy of dens (one kernel) —
 // a diagnostic recorded by the evaluator.
 func (s *System) MaxDensity(e *kernel.Engine, dens []float64) float64 {
-	return e.ParallelReduce("density.max", len(dens), math.Inf(-1),
-		func(lo, hi int) float64 {
-			m := math.Inf(-1)
-			for b := lo; b < hi; b++ {
-				if dens[b] > m {
-					m = dens[b]
-				}
-			}
-			return m
-		}, math.Max)
+	s.maxDens = dens
+	return e.ParallelReduce("density.max", len(dens), math.Inf(-1), s.maxBody, math.Max)
 }

@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Arena is a size-class pooling allocator for kernel scratch buffers — the
+// "device memory allocator" of the substitution map (DESIGN.md §2). Hot
+// operators check buffers out with Alloc/AllocComplex and return them with
+// Free/FreeComplex instead of calling make() inside the per-iteration loop,
+// so steady-state GP iterations perform no Go heap allocations: after
+// warm-up every checkout is served from a free list (a "hit").
+//
+// Buffers are bucketed by power-of-two capacity. Alloc returns a zeroed
+// slice of exactly the requested length; Free buckets by capacity, so
+// foreign slices (not obtained from the arena) may be donated as long as
+// their capacity is meaningful. An Arena is safe for concurrent use.
+type Arena struct {
+	mu sync.Mutex
+	f  [arenaClasses][][]float64
+	c  [arenaClasses][][]complex128
+	st ArenaStats
+}
+
+// arenaClasses bounds the largest pooled class at 2^(arenaClasses-1)
+// elements (512M float64 = 4 GiB); larger requests are never pooled.
+const arenaClasses = 30
+
+// ArenaStats is a snapshot of an Arena's accounting. Byte counts are in
+// class-capacity units (the pooled power-of-two size, 8 bytes per float64
+// and 16 per complex128).
+type ArenaStats struct {
+	Hits   int64 // checkouts served from a free list
+	Misses int64 // checkouts that had to allocate fresh memory
+	Frees  int64 // buffers returned
+	InUse  int64 // bytes currently checked out
+	Pooled int64 // bytes parked in free lists
+	Peak   int64 // high-water mark of InUse
+}
+
+// Allocs returns the total number of checkouts (hits + misses).
+func (s ArenaStats) Allocs() int64 { return s.Hits + s.Misses }
+
+// String renders a one-line summary.
+func (s ArenaStats) String() string {
+	return fmt.Sprintf("arena: allocs=%d hits=%d misses=%d frees=%d in-use=%dB pooled=%dB peak=%dB",
+		s.Allocs(), s.Hits, s.Misses, s.Frees, s.InUse, s.Pooled, s.Peak)
+}
+
+// sizeClass returns the free-list index for a request of n elements:
+// the smallest c with 1<<c >= n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// capClass returns the free-list index a buffer of capacity c belongs to:
+// the largest k with 1<<k <= c, so a parked buffer always satisfies any
+// request routed to its class.
+func capClass(c int) int {
+	if c <= 1 {
+		return 0
+	}
+	return bits.Len(uint(c)) - 1
+}
+
+// Alloc checks out a zeroed []float64 of length n.
+func (a *Arena) Alloc(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("kernel: Arena.Alloc(%d)", n))
+	}
+	cls := sizeClass(n)
+	var buf []float64
+	a.mu.Lock()
+	if cls < arenaClasses && len(a.f[cls]) > 0 {
+		last := len(a.f[cls]) - 1
+		buf = a.f[cls][last]
+		a.f[cls][last] = nil
+		a.f[cls] = a.f[cls][:last]
+		a.st.Hits++
+		a.st.Pooled -= 8 << cls
+	} else {
+		a.st.Misses++
+	}
+	a.st.InUse += 8 << cls
+	if a.st.InUse > a.st.Peak {
+		a.st.Peak = a.st.InUse
+	}
+	a.mu.Unlock()
+	if buf == nil {
+		return make([]float64, n, 1<<cls)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Free returns a float64 buffer to the arena. Freeing nil is a no-op.
+func (a *Arena) Free(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	cls := capClass(cap(buf))
+	a.mu.Lock()
+	a.st.Frees++
+	a.st.InUse -= 8 << cls
+	if cls < arenaClasses {
+		a.f[cls] = append(a.f[cls], buf[:0])
+		a.st.Pooled += 8 << cls
+	}
+	a.mu.Unlock()
+}
+
+// AllocComplex checks out a zeroed []complex128 of length n.
+func (a *Arena) AllocComplex(n int) []complex128 {
+	if n < 0 {
+		panic(fmt.Sprintf("kernel: Arena.AllocComplex(%d)", n))
+	}
+	cls := sizeClass(n)
+	var buf []complex128
+	a.mu.Lock()
+	if cls < arenaClasses && len(a.c[cls]) > 0 {
+		last := len(a.c[cls]) - 1
+		buf = a.c[cls][last]
+		a.c[cls][last] = nil
+		a.c[cls] = a.c[cls][:last]
+		a.st.Hits++
+		a.st.Pooled -= 16 << cls
+	} else {
+		a.st.Misses++
+	}
+	a.st.InUse += 16 << cls
+	if a.st.InUse > a.st.Peak {
+		a.st.Peak = a.st.InUse
+	}
+	a.mu.Unlock()
+	if buf == nil {
+		return make([]complex128, n, 1<<cls)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// FreeComplex returns a complex128 buffer to the arena.
+func (a *Arena) FreeComplex(buf []complex128) {
+	if cap(buf) == 0 {
+		return
+	}
+	cls := capClass(cap(buf))
+	a.mu.Lock()
+	a.st.Frees++
+	a.st.InUse -= 16 << cls
+	if cls < arenaClasses {
+		a.c[cls] = append(a.c[cls], buf[:0])
+		a.st.Pooled += 16 << cls
+	}
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the arena accounting.
+func (a *Arena) Stats() ArenaStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.st
+}
+
+// resetCounters clears the flow counters, keeping pooled buffers and the
+// in-use/pooled byte tracking (checked-out buffers remain checked out).
+func (a *Arena) resetCounters() {
+	a.mu.Lock()
+	a.st.Hits, a.st.Misses, a.st.Frees = 0, 0, 0
+	a.st.Peak = a.st.InUse
+	a.mu.Unlock()
+}
+
+// release drops every pooled buffer (used by Engine.Close).
+func (a *Arena) release() {
+	a.mu.Lock()
+	for i := range a.f {
+		a.f[i] = nil
+	}
+	for i := range a.c {
+		a.c[i] = nil
+	}
+	a.st.Pooled = 0
+	a.mu.Unlock()
+}

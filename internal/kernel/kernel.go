@@ -1,9 +1,10 @@
 // Package kernel provides the execution substrate that stands in for the
 // GPU in this reproduction. Every heavy placement operator runs through an
 // Engine as a named "kernel": the body is executed data-parallel over a
-// goroutine worker pool (the CUDA grid), and the Engine charges each launch
-// a configurable overhead on a simulated-time clock (the CUDA kernel-launch
-// latency the paper's §3.1.3 analysis is about).
+// persistent worker pool (the CUDA grid on a persistent stream), and the
+// Engine charges each launch a configurable overhead on a simulated-time
+// clock (the CUDA kernel-launch latency the paper's §3.1.3 analysis is
+// about).
 //
 // Two clocks are kept:
 //
@@ -14,6 +15,17 @@
 //     fusing K operators into one kernel removes (K-1) launch overheads by
 //     construction, and skipping the autograd engine halves the launch
 //     count of small operators.
+//
+// The execution substrate is device-like in two further ways:
+//
+//   - Workers are long-lived goroutines created on first parallel dispatch
+//     and torn down by Close — launches enqueue chunks on a channel instead
+//     of spawning goroutines, so dispatch cost does not scale with launch
+//     count (the paper's "persistent stream" regime).
+//   - The Engine owns a buffer Arena (the "device memory allocator"):
+//     operators check scratch out with Alloc/Free instead of calling make()
+//     per iteration, and the Stats report arena hits/misses/peak plus
+//     per-op checkout counts.
 //
 // The Engine can also record a launch trace (used by the Figure 2 operator
 // extraction experiment) and supports deferred synchronization points,
@@ -52,7 +64,14 @@ type Options struct {
 type OpStats struct {
 	Launches int64
 	Compute  time.Duration
+	// Allocs counts arena checkouts attributed to this op (checkouts made
+	// while the op was the engine's current launch).
+	Allocs int64
 }
+
+// HostOp is the pseudo-op name arena checkouts are attributed to when they
+// happen outside any kernel launch.
+const HostOp = "(host)"
 
 // Stats is a snapshot of an Engine's accounting.
 type Stats struct {
@@ -62,6 +81,7 @@ type Stats struct {
 	PerOp     map[string]OpStats
 	Overhead  time.Duration // LaunchOverhead used
 	Simulated time.Duration // Compute + Launches*Overhead
+	Arena     ArenaStats    // buffer-arena accounting
 }
 
 // String renders a human-readable summary, most expensive ops first.
@@ -69,6 +89,7 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "launches=%d syncs=%d compute=%v simulated=%v\n",
 		s.Launches, s.Syncs, s.Compute, s.Simulated)
+	fmt.Fprintf(&b, "%s\n", s.Arena)
 	type row struct {
 		name string
 		st   OpStats
@@ -79,26 +100,93 @@ func (s Stats) String() string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].st.Compute > rows[j].st.Compute })
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-32s launches=%-8d compute=%v\n", r.name, r.st.Launches, r.st.Compute)
+		fmt.Fprintf(&b, "  %-32s launches=%-8d allocs=%-6d compute=%v\n",
+			r.name, r.st.Launches, r.st.Allocs, r.st.Compute)
 	}
 	return b.String()
 }
 
+// task is one chunk of a kernel launch enqueued on the worker pool.
+// Exactly one of body/bodyChunk/bodyReduce/bodies is set.
+type task struct {
+	body       func(start, end int)
+	bodyChunk  func(chunk, start, end int)
+	bodyReduce func(start, end int) float64
+	bodies     []func(start, end int) // fused stages, run in order per chunk
+	out        *float64               // bodyReduce destination
+	chunk      int
+	lo, hi     int
+	wg         *sync.WaitGroup
+}
+
+// pool is the persistent worker set: long-lived goroutines draining a task
+// channel. Created lazily on the first parallel dispatch, torn down by
+// Engine.Close (or the engine finalizer).
+type pool struct {
+	tasks chan task
+	done  sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	p := &pool{tasks: make(chan task, workers)}
+	p.done.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.run()
+	}
+	return p
+}
+
+func (p *pool) run() {
+	defer p.done.Done()
+	for t := range p.tasks {
+		switch {
+		case t.body != nil:
+			t.body(t.lo, t.hi)
+		case t.bodyChunk != nil:
+			t.bodyChunk(t.chunk, t.lo, t.hi)
+		case t.bodyReduce != nil:
+			*t.out = t.bodyReduce(t.lo, t.hi)
+		default:
+			for _, b := range t.bodies {
+				b(t.lo, t.hi)
+			}
+		}
+		t.wg.Done()
+	}
+}
+
+func (p *pool) close() {
+	close(p.tasks)
+	p.done.Wait()
+}
+
+// wgPool recycles the per-launch WaitGroups: &wg stored in a task would
+// otherwise escape and heap-allocate on every pooled launch.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
 // Engine executes kernels. It is safe for concurrent use by the recorder
 // and evaluator goroutines, but kernels themselves are expected to be
-// launched from a single placement loop (as on a single CUDA stream).
+// launched from a single placement loop (as on a single CUDA stream);
+// kernel bodies must not launch kernels of their own.
 type Engine struct {
 	workers  int
 	overhead time.Duration
 	tracing  bool
+	arena    Arena
+
+	poolMu sync.Mutex
+	pool   *pool
+	closed bool
 
 	mu       sync.Mutex
 	launches int64
 	compute  time.Duration
 	syncs    int64
 	perOp    map[string]*OpStats
+	curOp    string // op name arena checkouts are attributed to
 	trace    []string
 	deferred []deferredSync
+	spare    []deferredSync // recycled backing array for deferred
 }
 
 type deferredSync struct {
@@ -106,7 +194,9 @@ type deferredSync struct {
 	fn   func()
 }
 
-// New returns an Engine with the given options.
+// New returns an Engine with the given options. Workers are not spawned
+// until the first launch large enough to go parallel; call Close to tear
+// them down (a finalizer closes leaked engines' pools on GC).
 func New(opts Options) *Engine {
 	w := opts.Workers
 	if w <= 0 {
@@ -116,12 +206,14 @@ func New(opts Options) *Engine {
 	if ov < 0 {
 		ov = DefaultLaunchOverhead
 	}
-	return &Engine{
+	e := &Engine{
 		workers:  w,
 		overhead: ov,
 		tracing:  opts.Trace,
 		perOp:    make(map[string]*OpStats),
 	}
+	runtime.SetFinalizer(e, (*Engine).Close)
+	return e
 }
 
 // NewDefault returns an Engine with NumCPU workers and the default launch
@@ -136,38 +228,117 @@ func (e *Engine) Workers() int { return e.workers }
 // LaunchOverhead returns the simulated per-launch cost.
 func (e *Engine) LaunchOverhead() time.Duration { return e.overhead }
 
+// getPool returns the worker pool, spawning it on first use. It returns
+// nil when the engine is closed: launches then fall back to serial
+// execution on the calling goroutine.
+func (e *Engine) getPool() *pool {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	if e.closed {
+		return nil
+	}
+	if e.pool == nil {
+		e.pool = newPool(e.workers)
+	}
+	return e.pool
+}
+
+// Close tears down the worker pool and drops the arena's pooled buffers.
+// After Close the engine remains usable: launches execute serially on the
+// calling goroutine (and are still accounted). Close is idempotent.
+func (e *Engine) Close() {
+	e.poolMu.Lock()
+	p := e.pool
+	e.pool = nil
+	e.closed = true
+	e.poolMu.Unlock()
+	if p != nil {
+		p.close()
+	}
+	e.arena.release()
+}
+
 // minParallel is the smallest iteration count worth fanning out over the
 // worker pool; below it the launch runs on the calling goroutine (still
 // counted as one launch — a tiny CUDA kernel still pays its launch cost).
 const minParallel = 2048
 
+// chunkBounds returns the [lo, hi) range of chunk w when n items are split
+// over e.workers contiguous chunks; ok is false past the last chunk.
+func (e *Engine) chunkBounds(w, n int) (lo, hi int, ok bool) {
+	chunk := (n + e.workers - 1) / e.workers
+	lo = w * chunk
+	if lo >= n {
+		return 0, 0, false
+	}
+	hi = lo + chunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi, true
+}
+
 // Launch runs body over the index range [0, n) as one kernel named name.
-// The range is split into contiguous chunks, one per worker. Launch blocks
-// until the kernel completes (stream-ordered execution).
+// The range is split into contiguous chunks, one per worker, executed by
+// the persistent pool. Launch blocks until the kernel completes
+// (stream-ordered execution).
 func (e *Engine) Launch(name string, n int, body func(start, end int)) {
 	start := time.Now()
+	e.begin(name)
 	if n > 0 {
-		if n < minParallel || e.workers == 1 {
+		p := (*pool)(nil)
+		if n >= minParallel && e.workers > 1 {
+			p = e.getPool()
+		}
+		if p == nil {
 			body(0, n)
 		} else {
-			var wg sync.WaitGroup
-			chunk := (n + e.workers - 1) / e.workers
+			wg := wgPool.Get().(*sync.WaitGroup)
 			for w := 0; w < e.workers; w++ {
-				lo := w * chunk
-				if lo >= n {
+				lo, hi, ok := e.chunkBounds(w, n)
+				if !ok {
 					break
 				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
 				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					body(lo, hi)
-				}(lo, hi)
+				p.tasks <- task{body: body, lo: lo, hi: hi, wg: wg}
 			}
 			wg.Wait()
+			wgPool.Put(wg)
+		}
+	}
+	e.account(name, time.Since(start))
+}
+
+// Fused runs several bodies over [0, n) as ONE accounted kernel launch:
+// each chunk executes every body in order before the next chunk's work is
+// considered complete, so fusing K elementwise stages saves (K-1) launch
+// overheads by construction (§3.1.1/§3.1.3). Bodies must be elementwise
+// independent across stages: body k may read outputs of body j < k only at
+// indices inside its own [start, end) chunk.
+func (e *Engine) Fused(name string, n int, bodies ...func(start, end int)) {
+	start := time.Now()
+	e.begin(name)
+	if n > 0 && len(bodies) > 0 {
+		p := (*pool)(nil)
+		if n >= minParallel && e.workers > 1 {
+			p = e.getPool()
+		}
+		if p == nil {
+			for _, b := range bodies {
+				b(0, n)
+			}
+		} else {
+			wg := wgPool.Get().(*sync.WaitGroup)
+			for w := 0; w < e.workers; w++ {
+				lo, hi, ok := e.chunkBounds(w, n)
+				if !ok {
+					break
+				}
+				wg.Add(1)
+				p.tasks <- task{bodies: bodies, lo: lo, hi: hi, wg: wg}
+			}
+			wg.Wait()
+			wgPool.Put(wg)
 		}
 	}
 	e.account(name, time.Since(start))
@@ -180,31 +351,29 @@ func (e *Engine) Launch(name string, n int, body func(start, end int)) {
 // chunks used.
 func (e *Engine) LaunchChunks(name string, n int, body func(chunk, start, end int)) int {
 	start := time.Now()
+	e.begin(name)
 	used := 0
 	if n > 0 {
-		if n < minParallel || e.workers == 1 {
+		p := (*pool)(nil)
+		if n >= minParallel && e.workers > 1 {
+			p = e.getPool()
+		}
+		if p == nil {
 			body(0, 0, n)
 			used = 1
 		} else {
-			var wg sync.WaitGroup
-			chunk := (n + e.workers - 1) / e.workers
+			wg := wgPool.Get().(*sync.WaitGroup)
 			for w := 0; w < e.workers; w++ {
-				lo := w * chunk
-				if lo >= n {
+				lo, hi, ok := e.chunkBounds(w, n)
+				if !ok {
 					break
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
 				}
 				wg.Add(1)
 				used++
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					body(w, lo, hi)
-				}(w, lo, hi)
+				p.tasks <- task{bodyChunk: body, chunk: w, lo: lo, hi: hi, wg: wg}
 			}
 			wg.Wait()
+			wgPool.Put(wg)
 		}
 	}
 	e.account(name, time.Since(start))
@@ -216,50 +385,97 @@ func (e *Engine) LaunchChunks(name string, n int, body func(chunk, start, end in
 // still costs one launch.
 func (e *Engine) LaunchSerial(name string, body func()) {
 	start := time.Now()
+	e.begin(name)
 	body()
 	e.account(name, time.Since(start))
 }
 
 // ParallelReduce runs body over [0, n) with one private accumulator per
 // worker and folds the partials with combine, all as a single kernel. The
-// body receives its worker-local partial index so callers can maintain
-// private state (the paper's atomics-free density accumulation).
+// partial buffer is checked out of the engine arena, so steady-state
+// reductions are allocation-free.
 func (e *Engine) ParallelReduce(name string, n int, init float64,
 	body func(start, end int) float64, combine func(a, b float64) float64) float64 {
 	start := time.Now()
+	e.begin(name)
 	result := init
 	if n > 0 {
-		if n < minParallel || e.workers == 1 {
+		p := (*pool)(nil)
+		if n >= minParallel && e.workers > 1 {
+			p = e.getPool()
+		}
+		if p == nil {
 			result = combine(result, body(0, n))
 		} else {
-			partials := make([]float64, e.workers)
+			partials := e.Alloc(e.workers)
 			used := 0
-			var wg sync.WaitGroup
-			chunk := (n + e.workers - 1) / e.workers
+			wg := wgPool.Get().(*sync.WaitGroup)
 			for w := 0; w < e.workers; w++ {
-				lo := w * chunk
-				if lo >= n {
+				lo, hi, ok := e.chunkBounds(w, n)
+				if !ok {
 					break
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
 				}
 				wg.Add(1)
 				used++
-				go func(w, lo, hi int) {
-					defer wg.Done()
-					partials[w] = body(lo, hi)
-				}(w, lo, hi)
+				p.tasks <- task{bodyReduce: body, out: &partials[w], lo: lo, hi: hi, wg: wg}
 			}
 			wg.Wait()
+			wgPool.Put(wg)
 			for w := 0; w < used; w++ {
 				result = combine(result, partials[w])
 			}
+			e.Free(partials)
 		}
 	}
 	e.account(name, time.Since(start))
 	return result
+}
+
+// Alloc checks a zeroed []float64 of length n out of the engine arena (the
+// "device memory" of the substitution map). Return it with Free when done;
+// after warm-up, checkouts are served from free lists without touching the
+// Go heap. The checkout is attributed to the currently launching op (or
+// HostOp between launches) in the per-op stats.
+func (e *Engine) Alloc(n int) []float64 {
+	e.noteAlloc()
+	return e.arena.Alloc(n)
+}
+
+// Free returns a buffer obtained from Alloc to the arena.
+func (e *Engine) Free(buf []float64) { e.arena.Free(buf) }
+
+// AllocComplex checks a zeroed []complex128 of length n out of the arena.
+func (e *Engine) AllocComplex(n int) []complex128 {
+	e.noteAlloc()
+	return e.arena.AllocComplex(n)
+}
+
+// FreeComplex returns a buffer obtained from AllocComplex to the arena.
+func (e *Engine) FreeComplex(buf []complex128) { e.arena.FreeComplex(buf) }
+
+// ArenaStats returns a snapshot of the buffer-arena accounting.
+func (e *Engine) ArenaStats() ArenaStats { return e.arena.Stats() }
+
+func (e *Engine) noteAlloc() {
+	e.mu.Lock()
+	name := e.curOp
+	if name == "" {
+		name = HostOp
+	}
+	st := e.perOp[name]
+	if st == nil {
+		st = &OpStats{}
+		e.perOp[name] = st
+	}
+	st.Allocs++
+	e.mu.Unlock()
+}
+
+// begin marks name as the current op for arena-checkout attribution.
+func (e *Engine) begin(name string) {
+	e.mu.Lock()
+	e.curOp = name
+	e.mu.Unlock()
 }
 
 // DeferSync enqueues an operation that requires host-device
@@ -273,22 +489,26 @@ func (e *Engine) DeferSync(name string, fn func()) {
 }
 
 // Flush runs all deferred synchronization operations (one sync point for
-// the whole batch) and clears the queue.
+// the whole batch) and clears the queue. The queue's backing array is
+// recycled, so the defer/flush cycle is allocation-free in steady state.
 func (e *Engine) Flush() {
 	e.mu.Lock()
-	pending := e.deferred
-	e.deferred = nil
-	e.mu.Unlock()
-	if len(pending) == 0 {
+	if len(e.deferred) == 0 {
+		e.mu.Unlock()
 		return
 	}
+	pending := e.deferred
+	e.deferred = e.spare[:0] // double-buffer: reuse the previous flush's array
+	e.mu.Unlock()
 	for _, d := range pending {
 		start := time.Now()
+		e.begin(d.name)
 		d.fn()
 		e.account(d.name, time.Since(start))
 	}
 	e.mu.Lock()
 	e.syncs++
+	e.spare = pending[:0]
 	e.mu.Unlock()
 }
 
@@ -304,6 +524,7 @@ func (e *Engine) account(name string, d time.Duration) {
 	e.mu.Lock()
 	e.launches++
 	e.compute += d
+	e.curOp = ""
 	st := e.perOp[name]
 	if st == nil {
 		st = &OpStats{}
@@ -317,15 +538,23 @@ func (e *Engine) account(name string, d time.Duration) {
 	e.mu.Unlock()
 }
 
+// SimulatedTime returns the simulated clock (compute plus launch cost)
+// without snapshotting the per-op map — an allocation-free alternative to
+// Stats().Simulated for per-iteration bookkeeping.
+func (e *Engine) SimulatedTime() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compute + time.Duration(e.launches)*e.overhead
+}
+
 // Stats returns a snapshot of the accounting since the last Reset.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	per := make(map[string]OpStats, len(e.perOp))
 	for k, v := range e.perOp {
 		per[k] = *v
 	}
-	return Stats{
+	s := Stats{
 		Launches:  e.launches,
 		Compute:   e.compute,
 		Syncs:     e.syncs,
@@ -333,6 +562,9 @@ func (e *Engine) Stats() Stats {
 		Overhead:  e.overhead,
 		Simulated: e.compute + time.Duration(e.launches)*e.overhead,
 	}
+	e.mu.Unlock()
+	s.Arena = e.arena.Stats()
+	return s
 }
 
 // Trace returns a copy of the launch trace (empty unless Options.Trace).
@@ -344,12 +576,17 @@ func (e *Engine) Trace() []string {
 	return out
 }
 
-// Reset clears all accounting and the trace; deferred syncs are discarded.
+// Reset clears all accounting and the trace; deferred syncs are discarded
+// and the arena's flow counters are zeroed (pooled buffers are kept warm).
+// The worker pool is untouched.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	e.launches, e.compute, e.syncs = 0, 0, 0
 	e.perOp = make(map[string]*OpStats)
+	e.curOp = ""
 	e.trace = nil
 	e.deferred = nil
+	e.spare = nil
 	e.mu.Unlock()
+	e.arena.resetCounters()
 }

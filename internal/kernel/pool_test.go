@@ -1,0 +1,325 @@
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFusedRunsAllBodiesOnce verifies Fused executes every body over the
+// full range while accounting as a single launch.
+func TestFusedRunsAllBodiesOnce(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := 3 * minParallel
+	a := make([]int32, n)
+	b := make([]int32, n)
+	e.Fused("fused", n,
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&a[i], 1)
+			}
+		},
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&b[i], 1)
+			}
+		})
+	for i := 0; i < n; i++ {
+		if a[i] != 1 || b[i] != 1 {
+			t.Fatalf("index %d: a=%d b=%d, want 1/1", i, a[i], b[i])
+		}
+	}
+	st := e.Stats()
+	if st.Launches != 1 {
+		t.Errorf("Fused must count as ONE launch, got %d", st.Launches)
+	}
+	if st.PerOp["fused"].Launches != 1 {
+		t.Errorf("per-op launches = %d, want 1", st.PerOp["fused"].Launches)
+	}
+}
+
+// TestFusedStageOrderPerChunk verifies each chunk runs the fused stages in
+// order, so stage k can read stage j<k outputs inside its own chunk.
+func TestFusedStageOrderPerChunk(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := 4 * minParallel
+	x := make([]float64, n)
+	y := make([]float64, n)
+	e.Fused("staged", n,
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i] = float64(i)
+			}
+		},
+		func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				y[i] = 2 * x[i]
+			}
+		})
+	for i := 0; i < n; i++ {
+		if y[i] != 2*float64(i) {
+			t.Fatalf("y[%d] = %v, want %v (stage order broken)", i, y[i], 2*float64(i))
+		}
+	}
+}
+
+// TestFusedEmptyBodies: n>0 with no bodies is still one accounted launch.
+func TestFusedEmptyBodies(t *testing.T) {
+	e := New(Options{Workers: 2})
+	e.Fused("noop", 100)
+	if got := e.Stats().Launches; got != 1 {
+		t.Errorf("Launches = %d, want 1", got)
+	}
+}
+
+// TestCloseSerialFallback: after Close, launches still execute (serially,
+// on the calling goroutine) and are still accounted.
+func TestCloseSerialFallback(t *testing.T) {
+	e := New(Options{Workers: 4})
+	n := 2 * minParallel
+	e.Launch("warm", n, func(lo, hi int) {}) // spawn the pool
+	e.Close()
+	var calls int32
+	touched := make([]bool, n)
+	e.Launch("after_close", n, func(lo, hi int) {
+		atomic.AddInt32(&calls, 1)
+		for i := lo; i < hi; i++ {
+			touched[i] = true
+		}
+	})
+	if calls != 1 {
+		t.Errorf("closed engine must run serially in one chunk, got %d calls", calls)
+	}
+	for i, ok := range touched {
+		if !ok {
+			t.Fatalf("index %d not covered after Close", i)
+		}
+	}
+	if got := e.Stats().PerOp["after_close"].Launches; got != 1 {
+		t.Errorf("post-Close launch not accounted: %d", got)
+	}
+	// Close is idempotent.
+	e.Close()
+}
+
+// TestLaunchChunksSmallSingleChunk: below minParallel only chunk 0 runs.
+func TestLaunchChunksSmallSingleChunk(t *testing.T) {
+	e := New(Options{Workers: 8})
+	defer e.Close()
+	var chunks []int
+	used := e.LaunchChunks("small", 100, func(chunk, lo, hi int) {
+		chunks = append(chunks, chunk)
+		if lo != 0 || hi != 100 {
+			t.Errorf("chunk range [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if used != 1 || len(chunks) != 1 || chunks[0] != 0 {
+		t.Errorf("used=%d chunks=%v, want single chunk 0", used, chunks)
+	}
+}
+
+// TestLaunchChunksParallelCoverage: above minParallel every chunk index is
+// distinct, in [0, used), and the union of ranges covers [0, n).
+func TestLaunchChunksParallelCoverage(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := 4*minParallel + 37
+	seen := make([]int32, n)
+	var mu sync.Mutex
+	got := map[int]bool{}
+	used := e.LaunchChunks("cover", n, func(chunk, lo, hi int) {
+		mu.Lock()
+		got[chunk] = true
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	})
+	if used < 1 || used > e.Workers() {
+		t.Fatalf("used = %d, want in [1, %d]", used, e.Workers())
+	}
+	if len(got) != used {
+		t.Errorf("distinct chunks %d != used %d", len(got), used)
+	}
+	for c := range got {
+		if c < 0 || c >= used {
+			t.Errorf("chunk index %d out of [0, %d)", c, used)
+		}
+	}
+	for i, v := range seen {
+		if v != 1 {
+			t.Fatalf("index %d touched %d times", i, v)
+		}
+	}
+}
+
+// TestArenaReuse checks the checkout/return cycle: a freed buffer is served
+// back zeroed as a hit, and the flow counters track it.
+func TestArenaReuse(t *testing.T) {
+	e := New(Options{Workers: 1})
+	buf := e.Alloc(1000)
+	if len(buf) != 1000 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = 1
+	}
+	e.Free(buf)
+	buf2 := e.Alloc(900) // same size class (1024)
+	for i, v := range buf2 {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed at %d: %v", i, v)
+		}
+	}
+	st := e.ArenaStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Frees != 1 {
+		t.Errorf("hits=%d misses=%d frees=%d, want 1/1/1", st.Hits, st.Misses, st.Frees)
+	}
+	if st.InUse != 1024*8 {
+		t.Errorf("InUse = %d bytes, want %d", st.InUse, 1024*8)
+	}
+	if st.Peak != 1024*8 {
+		t.Errorf("Peak = %d bytes, want %d", st.Peak, 1024*8)
+	}
+	e.Free(buf2)
+	if st = e.ArenaStats(); st.InUse != 0 || st.Pooled != 1024*8 {
+		t.Errorf("after free: InUse=%d Pooled=%d", st.InUse, st.Pooled)
+	}
+
+	// Complex checkouts use separate free lists and 16-byte accounting.
+	c := e.AllocComplex(100)
+	e.FreeComplex(c)
+	c2 := e.AllocComplex(128)
+	if st = e.ArenaStats(); st.Hits != 2 {
+		t.Errorf("complex realloc should hit: %+v", st)
+	}
+	e.FreeComplex(c2)
+}
+
+// TestArenaAllocAttribution: checkouts inside a launch are attributed to
+// that op; host-side checkouts go to HostOp.
+func TestArenaAllocAttribution(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Launch("op_with_scratch", 10, func(lo, hi int) {
+		b := e.Alloc(16)
+		e.Free(b)
+	})
+	host := e.Alloc(16)
+	e.Free(host)
+	st := e.Stats()
+	if st.PerOp["op_with_scratch"].Allocs != 1 {
+		t.Errorf("op allocs = %d, want 1", st.PerOp["op_with_scratch"].Allocs)
+	}
+	if st.PerOp[HostOp].Allocs != 1 {
+		t.Errorf("host allocs = %d, want 1", st.PerOp[HostOp].Allocs)
+	}
+	if st.Arena.Allocs() != 2 {
+		t.Errorf("arena total allocs = %d, want 2", st.Arena.Allocs())
+	}
+}
+
+// TestResetClearsArenaCounters: Reset zeroes the flow counters but keeps
+// pooled buffers warm (the next checkout is still a hit).
+func TestResetClearsArenaCounters(t *testing.T) {
+	e := New(Options{Workers: 1})
+	e.Free(e.Alloc(64))
+	e.Reset()
+	st := e.ArenaStats()
+	if st.Hits != 0 || st.Misses != 0 || st.Frees != 0 {
+		t.Errorf("Reset left flow counters: %+v", st)
+	}
+	if st.Pooled == 0 {
+		t.Error("Reset must keep pooled buffers warm")
+	}
+	e.Free(e.Alloc(64))
+	if st = e.ArenaStats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("warm pool should hit after Reset: %+v", st)
+	}
+}
+
+// TestParallelReduceZeroAllocSteadyState: the partials buffer comes from
+// the arena, so steady-state reductions do not touch the Go heap.
+func TestParallelReduceZeroAllocSteadyState(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := 4 * minParallel
+	body := func(lo, hi int) float64 { return float64(hi - lo) }
+	combine := func(a, b float64) float64 { return a + b }
+	// Warm up pool and arena.
+	for i := 0; i < 3; i++ {
+		e.ParallelReduce("warm", n, 0, body, combine)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := e.ParallelReduce("reduce", n, 0, body, combine); got != float64(n) {
+			t.Fatalf("reduce = %v, want %v", got, float64(n))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ParallelReduce allocs = %v, want 0", allocs)
+	}
+}
+
+// spawnLaunch is the pre-pool dispatch strategy: one fresh goroutine per
+// chunk per launch. Kept as the benchmark comparator for the persistent
+// pool (BenchmarkLaunchPool vs BenchmarkLaunchSpawn).
+func spawnLaunch(workers, n int, body func(start, end int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func benchBody(lo, hi int) {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += float64(i)
+	}
+	_ = s
+}
+
+func BenchmarkLaunchPool(b *testing.B) {
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := 4 * minParallel
+	e.Launch("warm", n, benchBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Launch("bench", n, benchBody)
+	}
+}
+
+func BenchmarkLaunchSpawn(b *testing.B) {
+	n := 4 * minParallel
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spawnLaunch(4, n, benchBody)
+	}
+}
+
+func BenchmarkLaunchPoolSerialThreshold(b *testing.B) {
+	// Below minParallel the launch never leaves the calling goroutine.
+	e := New(Options{Workers: 4})
+	defer e.Close()
+	n := minParallel - 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Launch("bench", n, benchBody)
+	}
+}

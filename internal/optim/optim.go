@@ -99,6 +99,14 @@ type Nesterov struct {
 	// InitMove is the target RMS displacement of the first step in design
 	// units.
 	InitMove float64
+
+	// Persistent kernel bodies with staged per-call parameters, so Step is
+	// allocation-free (per-call closures would heap-allocate every launch).
+	stepGX, stepGY     []float64
+	alpha, coef        float64
+	dAX, dAY, dBX, dBY []float64
+	stepBody           func(lo, hi int)
+	distBody           func(lo, hi int) float64
 }
 
 // NewNesterov creates a Nesterov optimizer starting from (x0, y0), which
@@ -114,7 +122,39 @@ func NewNesterov(x0, y0 []float64, bounds Bounds, initMove float64) *Nesterov {
 	o.pvy = make([]float64, n)
 	o.pgx = make([]float64, n)
 	o.pgy = make([]float64, n)
+	b := o.bounds
+	o.stepBody = func(lo, hi int) {
+		gx, gy := o.stepGX, o.stepGY
+		alpha, coef := o.alpha, o.coef
+		for c := lo; c < hi; c++ {
+			if b.frozen(c) {
+				continue
+			}
+			newUx := clampTo(o.vx[c]-alpha*gx[c], b.LoX[c], b.HiX[c])
+			newUy := clampTo(o.vy[c]-alpha*gy[c], b.LoY[c], b.HiY[c])
+			o.vx[c] = clampTo(newUx+coef*(newUx-o.ux[c]), b.LoX[c], b.HiX[c])
+			o.vy[c] = clampTo(newUy+coef*(newUy-o.uy[c]), b.LoY[c], b.HiY[c])
+			o.ux[c] = newUx
+			o.uy[c] = newUy
+		}
+	}
+	o.distBody = func(lo, hi int) float64 {
+		ax, ay, bx, by := o.dAX, o.dAY, o.dBX, o.dBY
+		var v float64
+		for i := lo; i < hi; i++ {
+			dx := ax[i] - bx[i]
+			dy := ay[i] - by[i]
+			v += dx*dx + dy*dy
+		}
+		return v
+	}
 	return o
+}
+
+// dist returns the l2 distance between (ax,ay) and (bx,by) as one kernel.
+func (o *Nesterov) dist(e *kernel.Engine, ax, ay, bx, by []float64) float64 {
+	o.dAX, o.dAY, o.dBX, o.dBY = ax, ay, bx, by
+	return math.Sqrt(e.ParallelReduce("optim.dist", len(ax), 0, o.distBody, addFloat))
 }
 
 // Positions returns the lookahead point v.
@@ -134,15 +174,14 @@ func (o *Nesterov) Step(e *kernel.Engine, gx, gy []float64) {
 		}
 		alpha = o.InitMove / gn
 	} else {
-		num := distNorm(e, o.vx, o.vy, o.pvx, o.pvy)
-		den := distNorm(e, gx, gy, o.pgx, o.pgy)
+		num := o.dist(e, o.vx, o.vy, o.pvx, o.pvy)
+		den := o.dist(e, gx, gy, o.pgx, o.pgy)
 		if den <= 1e-30 {
 			den = 1e-30
 		}
 		alpha = num / den
 	}
 	aNew := (1 + math.Sqrt(4*o.a*o.a+1)) / 2
-	coef := (o.a - 1) / aNew
 
 	// Save the lookahead and gradient for the next steplength prediction,
 	// then update u and v in one fused kernel (in-place, no autograd).
@@ -150,20 +189,9 @@ func (o *Nesterov) Step(e *kernel.Engine, gx, gy []float64) {
 	copy(o.pvy, o.vy)
 	copy(o.pgx, gx)
 	copy(o.pgy, gy)
-	b := o.bounds
-	e.Launch("optim.nesterov_step", n, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			if b.frozen(c) {
-				continue
-			}
-			newUx := clampTo(o.vx[c]-alpha*gx[c], b.LoX[c], b.HiX[c])
-			newUy := clampTo(o.vy[c]-alpha*gy[c], b.LoY[c], b.HiY[c])
-			o.vx[c] = clampTo(newUx+coef*(newUx-o.ux[c]), b.LoX[c], b.HiX[c])
-			o.vy[c] = clampTo(newUy+coef*(newUy-o.uy[c]), b.LoY[c], b.HiY[c])
-			o.ux[c] = newUx
-			o.uy[c] = newUy
-		}
-	})
+	o.stepGX, o.stepGY = gx, gy
+	o.alpha, o.coef = alpha, (o.a-1)/aNew
+	e.Launch("optim.nesterov_step", n, o.stepBody)
 	o.a = aNew
 	o.iter++
 }
@@ -176,12 +204,16 @@ type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 	iter                  int
 	b1Pow, b2Pow          float64
+
+	stepGX, stepGY []float64 // staged gradient for the persistent body
+	mc, vc         float64   // staged bias corrections
+	stepBody       func(lo, hi int)
 }
 
 // NewAdam creates an Adam optimizer starting from (x0, y0) (copied).
 func NewAdam(x0, y0 []float64, bounds Bounds, lr float64) *Adam {
 	n := len(x0)
-	return &Adam{
+	o := &Adam{
 		bounds: bounds,
 		x:      append(make([]float64, 0, n), x0...),
 		y:      append(make([]float64, 0, n), y0...),
@@ -190,6 +222,23 @@ func NewAdam(x0, y0 []float64, bounds Bounds, lr float64) *Adam {
 		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
 		b1Pow: 1, b2Pow: 1,
 	}
+	b := o.bounds
+	o.stepBody = func(lo, hi int) {
+		gx, gy := o.stepGX, o.stepGY
+		mc, vc := o.mc, o.vc
+		for c := lo; c < hi; c++ {
+			if b.frozen(c) {
+				continue
+			}
+			o.mx[c] = o.Beta1*o.mx[c] + (1-o.Beta1)*gx[c]
+			o.my[c] = o.Beta1*o.my[c] + (1-o.Beta1)*gy[c]
+			o.vxm[c] = o.Beta2*o.vxm[c] + (1-o.Beta2)*gx[c]*gx[c]
+			o.vym[c] = o.Beta2*o.vym[c] + (1-o.Beta2)*gy[c]*gy[c]
+			o.x[c] = clampTo(o.x[c]-o.LR*(o.mx[c]*mc)/(math.Sqrt(o.vxm[c]*vc)+o.Eps), b.LoX[c], b.HiX[c])
+			o.y[c] = clampTo(o.y[c]-o.LR*(o.my[c]*mc)/(math.Sqrt(o.vym[c]*vc)+o.Eps), b.LoY[c], b.HiY[c])
+		}
+	}
+	return o
 }
 
 // Positions returns the current iterate (Adam has no lookahead).
@@ -203,25 +252,14 @@ func (o *Adam) Step(e *kernel.Engine, gx, gy []float64) {
 	o.iter++
 	o.b1Pow *= o.Beta1
 	o.b2Pow *= o.Beta2
-	mc := 1 / (1 - o.b1Pow)
-	vc := 1 / (1 - o.b2Pow)
-	b := o.bounds
-	e.Launch("optim.adam_step", len(o.x), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			if b.frozen(c) {
-				continue
-			}
-			o.mx[c] = o.Beta1*o.mx[c] + (1-o.Beta1)*gx[c]
-			o.my[c] = o.Beta1*o.my[c] + (1-o.Beta1)*gy[c]
-			o.vxm[c] = o.Beta2*o.vxm[c] + (1-o.Beta2)*gx[c]*gx[c]
-			o.vym[c] = o.Beta2*o.vym[c] + (1-o.Beta2)*gy[c]*gy[c]
-			o.x[c] = clampTo(o.x[c]-o.LR*(o.mx[c]*mc)/(math.Sqrt(o.vxm[c]*vc)+o.Eps), b.LoX[c], b.HiX[c])
-			o.y[c] = clampTo(o.y[c]-o.LR*(o.my[c]*mc)/(math.Sqrt(o.vym[c]*vc)+o.Eps), b.LoY[c], b.HiY[c])
-		}
-	})
+	o.mc = 1 / (1 - o.b1Pow)
+	o.vc = 1 / (1 - o.b2Pow)
+	o.stepGX, o.stepGY = gx, gy
+	e.Launch("optim.adam_step", len(o.x), o.stepBody)
 }
 
-// rmsNorm returns sqrt(mean(gx^2 + gy^2)) as one kernel.
+// rmsNorm returns sqrt(mean(gx^2 + gy^2)) as one kernel. Only used for the
+// first-step steplength, so the per-call closure is not on the hot path.
 func rmsNorm(e *kernel.Engine, gx, gy []float64) float64 {
 	n := len(gx)
 	s := e.ParallelReduce("optim.rms", n, 0, func(lo, hi int) float64 {
@@ -230,24 +268,11 @@ func rmsNorm(e *kernel.Engine, gx, gy []float64) float64 {
 			v += gx[i]*gx[i] + gy[i]*gy[i]
 		}
 		return v
-	}, func(a, b float64) float64 { return a + b })
+	}, addFloat)
 	return math.Sqrt(s / float64(2*n))
 }
 
-// distNorm returns the l2 distance between (ax,ay) and (bx,by).
-func distNorm(e *kernel.Engine, ax, ay, bx, by []float64) float64 {
-	n := len(ax)
-	s := e.ParallelReduce("optim.dist", n, 0, func(lo, hi int) float64 {
-		var v float64
-		for i := lo; i < hi; i++ {
-			dx := ax[i] - bx[i]
-			dy := ay[i] - by[i]
-			v += dx*dx + dy*dy
-		}
-		return v
-	}, func(a, b float64) float64 { return a + b })
-	return math.Sqrt(s)
-}
+func addFloat(a, b float64) float64 { return a + b }
 
 // Preconditioner holds the diagonal entries of H_W (net degree) and H_D
 // (cell area) of §3.2 plus their l1 norms, fixed per design.
@@ -256,6 +281,11 @@ type Preconditioner struct {
 	Area   []float64 // A_i
 	SumDeg float64   // |H_W|
 	SumA   float64   // |H_D|
+
+	// Staged parameters for the persistent Apply body.
+	lambda    float64
+	gx, gy    []float64
+	applyBody func(lo, hi int)
 }
 
 // NewPreconditioner builds the preconditioner diagonals for d. Areas are
@@ -284,6 +314,9 @@ func NewPreconditioner(d *netlist.Design) *Preconditioner {
 			p.SumA += p.Area[c]
 		}
 	}
+	p.applyBody = func(lo, hi int) {
+		p.ApplyRange(p.lambda, p.gx, p.gy, lo, hi)
+	}
 	return p
 }
 
@@ -301,14 +334,19 @@ func (p *Preconditioner) Omega(lambda float64) float64 {
 // Apply divides the gradient by max(1, |S_i| + lambda*A_i) in place as one
 // kernel.
 func (p *Preconditioner) Apply(e *kernel.Engine, lambda float64, gx, gy []float64) {
-	e.Launch("optim.precondition", len(gx), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			h := p.Deg[c] + lambda*p.Area[c]
-			if h < 1 {
-				h = 1
-			}
-			gx[c] /= h
-			gy[c] /= h
+	p.lambda, p.gx, p.gy = lambda, gx, gy
+	e.Launch("optim.precondition", len(gx), p.applyBody)
+}
+
+// ApplyRange is the body of Apply over [lo, hi) without a launch of its
+// own, so callers can fuse preconditioning into a combined kernel.
+func (p *Preconditioner) ApplyRange(lambda float64, gx, gy []float64, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		h := p.Deg[c] + lambda*p.Area[c]
+		if h < 1 {
+			h = 1
 		}
-	})
+		gx[c] /= h
+		gy[c] /= h
+	}
 }

@@ -21,6 +21,13 @@ func (p *Placer) autogradGradient(vx, vy []float64, gamma, lambda float64) (wa f
 	d := p.d
 	ctx := tensor.NewContext(e)
 
+	// Backward scratch hoisted into placer state (allocated once, reused
+	// every autograd step).
+	if p.agGX == nil {
+		p.agGX = make([]float64, p.d.NumCells())
+		p.agGY = make([]float64, p.d.NumCells())
+	}
+
 	tx := tensor.New(len(vx))
 	ty := tensor.New(len(vy))
 	e.Launch("tensor.copy_params", len(vx), func(lo, hi int) {
@@ -41,8 +48,7 @@ func (p *Placer) autogradGradient(vx, vy []float64, gamma, lambda float64) (wa f
 		Backward: func(ctx *tensor.Context, in []*tensor.Tensor, _ *tensor.Tensor, g []float64) {
 			wirelength.PinToCellGrad(e, d, p.pinGX, p.pinGY, p.wlGX, p.wlGY)
 			gv := g[0]
-			gx := make([]float64, len(p.wlGX))
-			gy := make([]float64, len(p.wlGY))
+			gx, gy := p.agGX, p.agGY
 			e.Launch("wa.bwd_scale", len(gx), func(lo, hi int) {
 				for c := lo; c < hi; c++ {
 					gx[c] = gv * p.wlGX[c]
@@ -65,8 +71,7 @@ func (p *Placer) autogradGradient(vx, vy []float64, gamma, lambda float64) (wa f
 		Backward: func(ctx *tensor.Context, in []*tensor.Tensor, _ *tensor.Tensor, g []float64) {
 			p.sys.GatherField(e, d, in[0].Data, in[1].Data, field.MaskPlaceable, p.dGX, p.dGY)
 			gv := g[0]
-			gx := make([]float64, len(p.dGX))
-			gy := make([]float64, len(p.dGY))
+			gx, gy := p.agGX, p.agGY
 			e.Launch("density.bwd_scale", len(gx), func(lo, hi int) {
 				for c := lo; c < hi; c++ {
 					gx[c] = gv * p.dGX[c]

@@ -18,7 +18,7 @@ func (p *Placer) iterateBaseline() error {
 	e := p.eng
 	d := p.d
 	wallStart := time.Now()
-	simStart := e.Stats().Simulated
+	simStart := e.SimulatedTime()
 
 	vx, vy := p.opt.Positions()
 	gamma := p.schd.Gamma
@@ -64,7 +64,7 @@ func (p *Placer) iterateBaseline() error {
 		R:        p.lastR,
 		WallTime: time.Since(wallStart),
 	}
-	rec.SimTime = e.Stats().Simulated - simStart
+	rec.SimTime = e.SimulatedTime() - simStart
 	p.rec.Add(rec)
 
 	p.schd.Advance(hpwl, p.lastOverflow)

@@ -31,6 +31,7 @@ import (
 	"xplace/internal/netlist"
 	"xplace/internal/optim"
 	"xplace/internal/sched"
+	"xplace/internal/wirelength"
 )
 
 // Mode selects the gradient-engine implementation.
@@ -169,6 +170,7 @@ type Placer struct {
 	schd *sched.Scheduler
 	opt  optim.Optimizer
 	rec  *metrics.Recorder
+	wl   *wirelength.Ops
 
 	// Gradient buffers (cell-indexed over the augmented design).
 	pinGX, pinGY   []float64
@@ -177,12 +179,34 @@ type Placer struct {
 	gX, gY         []float64
 	exBlend        []float64 // NN-blended field scratch
 	eyBlend        []float64
+	agGX, agGY     []float64 // autograd backward scratch (lazy)
 	lastOverflow   float64
 	lastEnergy     float64
 	lastR          float64
 	lambdaInit     bool
 	iter           int
 	denseFromCache bool
+
+	// Persistent kernel bodies with staged per-iteration parameters so the
+	// steady-state GP loop is allocation-free (per-call closures would
+	// heap-allocate every iteration).
+	l1PA, l1PB             []float64 // per-chunk partials for l1Norms
+	l1AX, l1AY, l1BX, l1BY []float64
+	l1Body                 func(w, lo, hi int)
+	curLambda              float64
+	combineBody            func(lo, hi int)
+	precondBody            func(lo, hi int)
+	fusedGradBodies        []func(lo, hi int) // {combineBody, precondBody}, prebuilt so Fused's variadic slice never allocates
+	curSigma               float64
+	blendBody              func(lo, hi int)
+
+	// Deferred-record state: the one record closure is built once and the
+	// pending values staged per iteration (§3.1.3 sync reordering without a
+	// per-iteration closure allocation).
+	pendingRec  metrics.Record
+	pendingWall time.Time
+	pendingSim  time.Duration
+	recordFn    func()
 }
 
 // New prepares a placer: augments the design with filler cells, builds the
@@ -259,7 +283,53 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 	default:
 		p.opt = optim.NewNesterov(x0, y0, bounds, binSize)
 	}
+
+	wlModel := wirelength.WA
+	if opts.Wirelength == WLLogSumExp {
+		wlModel = wirelength.LSE
+	}
+	p.wl = wirelength.NewOps(e, aug, wlModel)
+	p.buildBodies()
 	return p, nil
+}
+
+// buildBodies constructs the persistent per-iteration kernel bodies once.
+func (p *Placer) buildBodies() {
+	p.l1PA = make([]float64, p.eng.Workers())
+	p.l1PB = make([]float64, p.eng.Workers())
+	p.l1Body = func(w, lo, hi int) {
+		ax, ay, bx, by := p.l1AX, p.l1AY, p.l1BX, p.l1BY
+		var sa, sb float64
+		for i := lo; i < hi; i++ {
+			sa += math.Abs(ax[i]) + math.Abs(ay[i])
+			sb += math.Abs(bx[i]) + math.Abs(by[i])
+		}
+		p.l1PA[w] = sa
+		p.l1PB[w] = sb
+	}
+	p.combineBody = func(lo, hi int) {
+		lambda := p.curLambda
+		for c := lo; c < hi; c++ {
+			p.gX[c] = p.wlGX[c] + lambda*p.dGX[c]
+			p.gY[c] = p.wlGY[c] + lambda*p.dGY[c]
+		}
+	}
+	p.precondBody = func(lo, hi int) {
+		p.pre.ApplyRange(p.curLambda, p.gX, p.gY, lo, hi)
+	}
+	p.fusedGradBodies = []func(lo, hi int){p.combineBody, p.precondBody}
+	p.blendBody = func(lo, hi int) {
+		sigma := p.curSigma
+		for i := lo; i < hi; i++ {
+			p.sys.Ex[i] = (1-sigma)*p.sys.Ex[i] + sigma*p.exBlend[i]
+			p.sys.Ey[i] = (1-sigma)*p.sys.Ey[i] + sigma*p.eyBlend[i]
+		}
+	}
+	p.recordFn = func() {
+		p.pendingRec.WallTime = time.Since(p.pendingWall)
+		p.pendingRec.SimTime = p.eng.SimulatedTime() - p.pendingSim
+		p.rec.Add(p.pendingRec)
+	}
 }
 
 // autoGridSize picks the density grid dimension: roughly sqrt(numCells)
@@ -385,23 +455,29 @@ func (p *Placer) finalize(start time.Time) *Result {
 // l1Norms computes sum|ax|+|ay| over all cells for two gradient pairs in
 // one kernel (used for the r ratio and lambda initialization).
 func (p *Placer) l1Norms(ax, ay, bx, by []float64) (na, nb float64) {
-	nw := p.eng.Workers()
-	pa := make([]float64, nw)
-	pb := make([]float64, nw)
-	p.eng.LaunchChunks("placer.grad_norms", len(ax), func(w, lo, hi int) {
-		var sa, sb float64
-		for i := lo; i < hi; i++ {
-			sa += math.Abs(ax[i]) + math.Abs(ay[i])
-			sb += math.Abs(bx[i]) + math.Abs(by[i])
-		}
-		pa[w] += sa
-		pb[w] += sb
-	})
-	for w := 0; w < nw; w++ {
-		na += pa[w]
-		nb += pb[w]
+	p.l1AX, p.l1AY, p.l1BX, p.l1BY = ax, ay, bx, by
+	used := p.eng.LaunchChunks("placer.grad_norms", len(ax), p.l1Body)
+	for w := 0; w < used; w++ {
+		na += p.l1PA[w]
+		nb += p.l1PB[w]
 	}
 	return na, nb
+}
+
+// metricsRecord assembles the per-iteration metrics record (the host-visible
+// scalars; WallTime/SimTime are filled at sync time).
+func metricsRecord(p *Placer, hpwl, wa, gamma, lambda float64) metrics.Record {
+	return metrics.Record{
+		Iter:     p.iter,
+		HPWL:     hpwl,
+		WA:       wa,
+		Energy:   p.lastEnergy,
+		Overflow: p.lastOverflow,
+		Gamma:    gamma,
+		Lambda:   lambda,
+		Omega:    p.schd.Omega(),
+		R:        p.lastR,
+	}
 }
 
 // sigmaBlend is the sigma(omega) weighting of Eq. 14 that hands the early

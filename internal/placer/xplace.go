@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"xplace/internal/field"
-	"xplace/internal/metrics"
 	"xplace/internal/wirelength"
 )
 
@@ -16,15 +15,20 @@ import (
 //     Off: gradients via the autograd engine (twice the small-kernel
 //     launches), immediate syncs — the ablation's "none" starting point.
 //   - OperatorCombination fuses WA wirelength + gradient + HPWL into one
-//     kernel (only meaningful on the numerical path).
+//     kernel, and gradient combination + preconditioning into another.
 //   - OperatorExtraction computes the cell density map once for both the
 //     total map and the overflow ratio.
 //   - OperatorSkipping reuses the cached density gradient early on.
+//
+// The iteration is allocation-free in steady state: every kernel body is
+// persistent (built once in buildBodies/NewOps/NewSystem), scratch lives in
+// preallocated buffers or the engine arena, and the deferred metric record
+// reuses one staged closure.
 func (p *Placer) iterateXplace() error {
 	e := p.eng
 	d := p.d
 	wallStart := time.Now()
-	simStart := e.Stats().Simulated
+	simStart := e.SimulatedTime()
 
 	vx, vy := p.opt.Positions()
 	gamma := p.schd.Gamma
@@ -34,19 +38,15 @@ func (p *Placer) iterateXplace() error {
 		// --- Numerical gradient path (OR on) --------------------------
 
 		// Wirelength operators (model selected by Options.Wirelength).
-		fused, grad := wirelength.Fused, wirelength.WAGrad
-		if p.opts.Wirelength == WLLogSumExp {
-			fused, grad = wirelength.FusedLSE, wirelength.LSEGrad
-		}
 		if p.opts.OperatorCombination {
 			// OC: smoothed wirelength + gradient + HPWL in one kernel.
-			res := fused(e, d, vx, vy, gamma, p.pinGX, p.pinGY)
+			res := p.wl.Fused(vx, vy, gamma, p.pinGX, p.pinGY)
 			wa, hpwl = res.WA, res.HPWL
 		} else {
-			wa = grad(e, d, vx, vy, gamma, p.pinGX, p.pinGY)
-			hpwl = wirelength.HPWL(e, d, vx, vy)
+			wa = p.wl.Grad(vx, vy, gamma, p.pinGX, p.pinGY)
+			hpwl = p.wl.HPWL(vx, vy)
 		}
-		wirelength.PinToCellGrad(e, d, p.pinGX, p.pinGY, p.wlGX, p.wlGY)
+		p.wl.PinToCell(p.pinGX, p.pinGY, p.wlGX, p.wlGY)
 
 		// Density operators (possibly skipped, §3.1.4).
 		skip := p.schd.ShouldSkipDensity(p.lastR) && p.iter > 0
@@ -60,17 +60,19 @@ func (p *Placer) iterateXplace() error {
 			p.schd.InitLambda(nWL, nD)
 			p.lambdaInit = true
 		}
-		lambda := p.schd.Lambda
-		e.Launch("placer.combine_grad", len(p.gX), func(lo, hi int) {
-			for c := lo; c < hi; c++ {
-				p.gX[c] = p.wlGX[c] + lambda*p.dGX[c]
-				p.gY[c] = p.wlGY[c] + lambda*p.dGY[c]
-			}
-		})
+		p.curLambda = p.schd.Lambda
+		if p.opts.OperatorCombination && p.opts.ExtraGradient == nil {
+			// OC also fuses gradient combination with preconditioning:
+			// one launch instead of two (the Fused helper — §3.1.1 applied
+			// to the assembly stage).
+			e.Fused("placer.fused_grad", len(p.gX), p.fusedGradBodies...)
+		} else {
+			e.Launch("placer.combine_grad", len(p.gX), p.combineBody)
+		}
 		if !skip {
 			nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
 			if nWL > 0 {
-				p.lastR = lambda * nD / nWL
+				p.lastR = p.curLambda * nD / nWL
 			}
 		}
 	} else {
@@ -87,39 +89,32 @@ func (p *Placer) iterateXplace() error {
 		}
 	}
 
-	if p.opts.ExtraGradient != nil {
-		p.opts.ExtraGradient(p.iter, vx, vy, p.gX, p.gY)
-	}
 	lambda := p.schd.Lambda
-	p.pre.Apply(e, lambda, p.gX, p.gY)
+	fusedPre := p.opts.OperatorReduction && p.opts.OperatorCombination && p.opts.ExtraGradient == nil
+	if !fusedPre {
+		if p.opts.ExtraGradient != nil {
+			p.opts.ExtraGradient(p.iter, vx, vy, p.gX, p.gY)
+		}
+		p.pre.Apply(e, lambda, p.gX, p.gY)
+	}
 	p.opt.Step(e, p.gX, p.gY)
 
-	rec := metrics.Record{
-		Iter:     p.iter,
-		HPWL:     hpwl,
-		WA:       wa,
-		Energy:   p.lastEnergy,
-		Overflow: p.lastOverflow,
-		Gamma:    gamma,
-		Lambda:   lambda,
-		Omega:    p.schd.Omega(),
-		R:        p.lastR,
-	}
+	rec := metricsRecord(p, hpwl, wa, gamma, lambda)
 	if p.opts.OperatorReduction {
 		// OR: the metric copy-back is a host sync; defer it to the end of
-		// the iteration (§3.1.3 sync reordering).
-		e.DeferSync("placer.record", func() {
-			rec.WallTime = time.Since(wallStart)
-			rec.SimTime = e.Stats().Simulated - simStart
-			p.rec.Add(rec)
-		})
+		// the iteration (§3.1.3 sync reordering). The record closure is
+		// persistent; only its inputs are staged here.
+		p.pendingRec = rec
+		p.pendingWall = wallStart
+		p.pendingSim = simStart
+		e.DeferSync("placer.record", p.recordFn)
 		e.Flush()
 	} else {
 		// Immediate per-metric syncs.
 		e.Sync()
 		e.Sync()
 		rec.WallTime = time.Since(wallStart)
-		rec.SimTime = e.Stats().Simulated - simStart
+		rec.SimTime = e.SimulatedTime() - simStart
 		p.rec.Add(rec)
 	}
 
@@ -155,12 +150,8 @@ func (p *Placer) computeDensity(vx, vy []float64) {
 		sigma := sigmaBlend(p.schd.Omega())
 		if sigma > 1e-3 {
 			p.opts.Predictor.PredictField(p.sys.Total, p.sys.Nx, p.sys.Ny, p.exBlend, p.eyBlend)
-			e.Launch("nn.blend_field", len(p.sys.Ex), func(lo, hi int) {
-				for i := lo; i < hi; i++ {
-					p.sys.Ex[i] = (1-sigma)*p.sys.Ex[i] + sigma*p.exBlend[i]
-					p.sys.Ey[i] = (1-sigma)*p.sys.Ey[i] + sigma*p.eyBlend[i]
-				}
-			})
+			p.curSigma = sigma
+			e.Launch("nn.blend_field", len(p.sys.Ex), p.blendBody)
 		}
 	}
 	p.sys.GatherField(e, d, vx, vy, field.MaskPlaceable, p.dGX, p.dGY)

@@ -155,18 +155,20 @@ func Add(ctx *Context, a, b *Tensor) *Tensor {
 	})
 	attach(ctx, out, "add", func(ctx *Context, g []float64) {
 		if a.NeedsGrad() {
-			ga := make([]float64, len(g))
+			ga := ctx.E.Alloc(len(g))
 			ctx.E.Launch("add.bwd", len(g), func(lo, hi int) {
 				copy(ga[lo:hi], g[lo:hi])
 			})
 			a.AccumulateGrad(ga)
+			ctx.E.Free(ga)
 		}
 		if b.NeedsGrad() {
-			gb := make([]float64, len(g))
+			gb := ctx.E.Alloc(len(g))
 			ctx.E.Launch("add.bwd", len(g), func(lo, hi int) {
 				copy(gb[lo:hi], g[lo:hi])
 			})
 			b.AccumulateGrad(gb)
+			ctx.E.Free(gb)
 		}
 	}, a, b)
 	return out
@@ -183,20 +185,22 @@ func Sub(ctx *Context, a, b *Tensor) *Tensor {
 	})
 	attach(ctx, out, "sub", func(ctx *Context, g []float64) {
 		if a.NeedsGrad() {
-			ga := make([]float64, len(g))
+			ga := ctx.E.Alloc(len(g))
 			ctx.E.Launch("sub.bwd", len(g), func(lo, hi int) {
 				copy(ga[lo:hi], g[lo:hi])
 			})
 			a.AccumulateGrad(ga)
+			ctx.E.Free(ga)
 		}
 		if b.NeedsGrad() {
-			gb := make([]float64, len(g))
+			gb := ctx.E.Alloc(len(g))
 			ctx.E.Launch("sub.bwd", len(g), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					gb[i] = -g[i]
 				}
 			})
 			b.AccumulateGrad(gb)
+			ctx.E.Free(gb)
 		}
 	}, a, b)
 	return out
@@ -213,22 +217,24 @@ func Mul(ctx *Context, a, b *Tensor) *Tensor {
 	})
 	attach(ctx, out, "mul", func(ctx *Context, g []float64) {
 		if a.NeedsGrad() {
-			ga := make([]float64, len(g))
+			ga := ctx.E.Alloc(len(g))
 			ctx.E.Launch("mul.bwd", len(g), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					ga[i] = g[i] * b.Data[i]
 				}
 			})
 			a.AccumulateGrad(ga)
+			ctx.E.Free(ga)
 		}
 		if b.NeedsGrad() {
-			gb := make([]float64, len(g))
+			gb := ctx.E.Alloc(len(g))
 			ctx.E.Launch("mul.bwd", len(g), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					gb[i] = g[i] * a.Data[i]
 				}
 			})
 			b.AccumulateGrad(gb)
+			ctx.E.Free(gb)
 		}
 	}, a, b)
 	return out
@@ -243,13 +249,14 @@ func Scale(ctx *Context, a *Tensor, s float64) *Tensor {
 		}
 	})
 	attach(ctx, out, "scale", func(ctx *Context, g []float64) {
-		ga := make([]float64, len(g))
+		ga := ctx.E.Alloc(len(g))
 		ctx.E.Launch("scale.bwd", len(g), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ga[i] = g[i] * s
 			}
 		})
 		a.AccumulateGrad(ga)
+		ctx.E.Free(ga)
 	}, a)
 	return out
 }
@@ -266,7 +273,7 @@ func Sum(ctx *Context, a *Tensor) *Tensor {
 			return s
 		}, func(x, y float64) float64 { return x + y })
 	attach(ctx, out, "sum", func(ctx *Context, g []float64) {
-		ga := make([]float64, a.Len())
+		ga := ctx.E.Alloc(a.Len())
 		gv := g[0]
 		ctx.E.Launch("sum.bwd", a.Len(), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
@@ -274,6 +281,7 @@ func Sum(ctx *Context, a *Tensor) *Tensor {
 			}
 		})
 		a.AccumulateGrad(ga)
+		ctx.E.Free(ga)
 	}, a)
 	return out
 }
@@ -293,22 +301,24 @@ func Dot(ctx *Context, a, b *Tensor) *Tensor {
 	attach(ctx, out, "dot", func(ctx *Context, g []float64) {
 		gv := g[0]
 		if a.NeedsGrad() {
-			ga := make([]float64, a.Len())
+			ga := ctx.E.Alloc(a.Len())
 			ctx.E.Launch("dot.bwd", a.Len(), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					ga[i] = gv * b.Data[i]
 				}
 			})
 			a.AccumulateGrad(ga)
+			ctx.E.Free(ga)
 		}
 		if b.NeedsGrad() {
-			gb := make([]float64, b.Len())
+			gb := ctx.E.Alloc(b.Len())
 			ctx.E.Launch("dot.bwd", b.Len(), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					gb[i] = gv * a.Data[i]
 				}
 			})
 			b.AccumulateGrad(gb)
+			ctx.E.Free(gb)
 		}
 	}, a, b)
 	return out
@@ -323,13 +333,14 @@ func Exp(ctx *Context, a *Tensor) *Tensor {
 		}
 	})
 	attach(ctx, out, "exp", func(ctx *Context, g []float64) {
-		ga := make([]float64, len(g))
+		ga := ctx.E.Alloc(len(g))
 		ctx.E.Launch("exp.bwd", len(g), func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				ga[i] = g[i] * out.Data[i]
 			}
 		})
 		a.AccumulateGrad(ga)
+		ctx.E.Free(ga)
 	}, a)
 	return out
 }

@@ -67,8 +67,8 @@ func netLSE(d *netlist.Design, n int, pos []float64, off []float64, gamma float6
 // gradient and HPWL in one kernel.
 func FusedLSE(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) Result {
 	nw := e.Workers()
-	partWL := make([]float64, nw)
-	partHP := make([]float64, nw)
+	partWL := e.Alloc(nw)
+	partHP := e.Alloc(nw)
 	e.LaunchChunks("wl.fused_lse_grad_hpwl", d.NumNets(), func(w, lo, hi int) {
 		var wl, hp float64
 		for n := lo; n < hi; n++ {
@@ -85,6 +85,8 @@ func FusedLSE(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64
 		res.WA += partWL[w]
 		res.HPWL += partHP[w]
 	}
+	e.Free(partWL)
+	e.Free(partHP)
 	return res
 }
 
@@ -92,7 +94,7 @@ func FusedLSE(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64
 // HPWL fusion.
 func LSEGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) float64 {
 	nw := e.Workers()
-	part := make([]float64, nw)
+	part := e.Alloc(nw)
 	e.LaunchChunks("wl.lse_grad", d.NumNets(), func(w, lo, hi int) {
 		var wl float64
 		for n := lo; n < hi; n++ {
@@ -106,13 +108,14 @@ func LSEGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64,
 	for w := 0; w < nw; w++ {
 		total += part[w]
 	}
+	e.Free(part)
 	return total
 }
 
 // LSEForward evaluates only the LSE wirelength.
 func LSEForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64) float64 {
 	nw := e.Workers()
-	part := make([]float64, nw)
+	part := e.Alloc(nw)
 	e.LaunchChunks("wl.lse_fwd", d.NumNets(), func(w, lo, hi int) {
 		var wl float64
 		for n := lo; n < hi; n++ {
@@ -126,5 +129,6 @@ func LSEForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float
 	for w := 0; w < nw; w++ {
 		total += part[w]
 	}
+	e.Free(part)
 	return total
 }

@@ -1,0 +1,170 @@
+package wirelength
+
+import (
+	"math"
+
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+// Model selects the smoothed-wirelength formulation an Ops evaluates.
+type Model int
+
+// Supported smoothed-wirelength models.
+const (
+	WA  Model = iota // weighted-average (Eq. 6)
+	LSE              // log-sum-exp
+)
+
+// Ops is the persistent wirelength operator set used by the placer's hot
+// loop. It owns the per-worker partial buffers and builds every kernel body
+// once, with per-call parameters staged in struct fields, so steady-state
+// evaluations are allocation-free (per-call closures would heap-allocate on
+// every launch). An Ops is single-flight: drive it from one placement loop
+// at a time. The free package functions (Fused, WAGrad, ...) remain for
+// one-shot callers.
+type Ops struct {
+	e     *kernel.Engine
+	d     *netlist.Design
+	model Model
+
+	partWA, partHP []float64 // one slot per worker chunk
+
+	// Staged per-call parameters.
+	x, y           []float64
+	gamma          float64
+	pinGX, pinGY   []float64
+	cellGX, cellGY []float64
+
+	fusedBody, gradBody func(w, lo, hi int)
+	hpwlBody            func(lo, hi int) float64
+	p2cBody             func(lo, hi int)
+
+	fusedName, gradName string
+}
+
+// NewOps builds the persistent wirelength operators for (e, d) using the
+// given smoothed model.
+func NewOps(e *kernel.Engine, d *netlist.Design, model Model) *Ops {
+	o := &Ops{
+		e:      e,
+		d:      d,
+		model:  model,
+		partWA: make([]float64, e.Workers()),
+		partHP: make([]float64, e.Workers()),
+	}
+	netFn := netWA
+	o.fusedName, o.gradName = "wl.fused_wa_grad_hpwl", "wl.wa_grad"
+	if model == LSE {
+		netFn = netLSE
+		o.fusedName, o.gradName = "wl.fused_lse_grad_hpwl", "wl.lse_grad"
+	}
+	o.fusedBody = func(w, lo, hi int) {
+		var wl, hp float64
+		for n := lo; n < hi; n++ {
+			wx, hx := netFn(d, n, o.x, d.PinOffX, o.gamma, o.pinGX)
+			wy, hy := netFn(d, n, o.y, d.PinOffY, o.gamma, o.pinGY)
+			wl += wx + wy
+			hp += hx + hy
+		}
+		o.partWA[w] = wl
+		o.partHP[w] = hp
+	}
+	o.gradBody = func(w, lo, hi int) {
+		var wl float64
+		for n := lo; n < hi; n++ {
+			wx, _ := netFn(d, n, o.x, d.PinOffX, o.gamma, o.pinGX)
+			wy, _ := netFn(d, n, o.y, d.PinOffY, o.gamma, o.pinGY)
+			wl += wx + wy
+		}
+		o.partWA[w] = wl
+	}
+	o.hpwlBody = func(lo, hi int) float64 {
+		return hpwlRange(d, o.x, o.y, lo, hi)
+	}
+	o.p2cBody = func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			var gx, gy float64
+			for _, p := range d.CellPins[d.CellPinStart[c]:d.CellPinStart[c+1]] {
+				gx += o.pinGX[p]
+				gy += o.pinGY[p]
+			}
+			o.cellGX[c] = gx
+			o.cellGY[c] = gy
+		}
+	}
+	return o
+}
+
+// Fused evaluates smoothed wirelength, pin gradient and HPWL in a single
+// kernel launch (the paper's operator combination, §3.1.1).
+func (o *Ops) Fused(x, y []float64, gamma float64, pinGX, pinGY []float64) Result {
+	o.x, o.y, o.gamma, o.pinGX, o.pinGY = x, y, gamma, pinGX, pinGY
+	used := o.e.LaunchChunks(o.fusedName, o.d.NumNets(), o.fusedBody)
+	var res Result
+	for w := 0; w < used; w++ {
+		res.WA += o.partWA[w]
+		res.HPWL += o.partHP[w]
+	}
+	return res
+}
+
+// Grad evaluates the smoothed wirelength and its pin gradient WITHOUT the
+// HPWL fusion — the "no operator combination" configuration.
+func (o *Ops) Grad(x, y []float64, gamma float64, pinGX, pinGY []float64) float64 {
+	o.x, o.y, o.gamma, o.pinGX, o.pinGY = x, y, gamma, pinGX, pinGY
+	used := o.e.LaunchChunks(o.gradName, o.d.NumNets(), o.gradBody)
+	var total float64
+	for w := 0; w < used; w++ {
+		total += o.partWA[w]
+	}
+	return total
+}
+
+// HPWL evaluates the exact half-perimeter wirelength as its own kernel,
+// rescanning every net's min/max (what the unfused configuration pays).
+func (o *Ops) HPWL(x, y []float64) float64 {
+	o.x, o.y = x, y
+	return o.e.ParallelReduce("wl.hpwl", o.d.NumNets(), 0, o.hpwlBody, sumFloat)
+}
+
+// PinToCell scatters per-pin gradients onto cell centers as one kernel
+// (race-free: each cell sums its own pins via the CSR reverse map).
+func (o *Ops) PinToCell(pinGX, pinGY, cellGX, cellGY []float64) {
+	o.pinGX, o.pinGY, o.cellGX, o.cellGY = pinGX, pinGY, cellGX, cellGY
+	o.e.Launch("wl.pin_to_cell", o.d.NumCells(), o.p2cBody)
+}
+
+func sumFloat(a, b float64) float64 { return a + b }
+
+// hpwlRange sums both dimensions' HPWL over nets [lo, hi).
+func hpwlRange(d *netlist.Design, x, y []float64, lo, hi int) float64 {
+	var hp float64
+	for n := lo; n < hi; n++ {
+		s, e := d.NetPinStart[n], d.NetPinStart[n+1]
+		if e-s < 2 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for p := s; p < e; p++ {
+			c := d.PinCell[p]
+			px := x[c] + d.PinOffX[p]
+			py := y[c] + d.PinOffY[p]
+			if px < minX {
+				minX = px
+			}
+			if px > maxX {
+				maxX = px
+			}
+			if py < minY {
+				minY = py
+			}
+			if py > maxY {
+				maxY = py
+			}
+		}
+		hp += (maxX - minX) + (maxY - minY)
+	}
+	return hp
+}

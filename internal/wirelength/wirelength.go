@@ -82,8 +82,8 @@ func netWA(d *netlist.Design, n int, pos []float64, off []float64, gamma float64
 // must have length NumPins; they receive d(WA)/d(pin position).
 func Fused(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) Result {
 	nw := e.Workers()
-	partWA := make([]float64, nw)
-	partHP := make([]float64, nw)
+	partWA := e.Alloc(nw)
+	partHP := e.Alloc(nw)
 	e.LaunchChunks("wl.fused_wa_grad_hpwl", d.NumNets(), func(w, lo, hi int) {
 		var wa, hp float64
 		for n := lo; n < hi; n++ {
@@ -100,6 +100,8 @@ func Fused(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, p
 		res.WA += partWA[w]
 		res.HPWL += partHP[w]
 	}
+	e.Free(partWA)
+	e.Free(partHP)
 	return res
 }
 
@@ -108,7 +110,7 @@ func Fused(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, p
 // the "no operator combination" configuration.
 func WAGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, pinGX, pinGY []float64) float64 {
 	nw := e.Workers()
-	part := make([]float64, nw)
+	part := e.Alloc(nw)
 	e.LaunchChunks("wl.wa_grad", d.NumNets(), func(w, lo, hi int) {
 		var wa float64
 		for n := lo; n < hi; n++ {
@@ -122,6 +124,7 @@ func WAGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, 
 	for w := 0; w < nw; w++ {
 		total += part[w]
 	}
+	e.Free(part)
 	return total
 }
 
@@ -129,7 +132,7 @@ func WAGrad(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64, 
 // the forward operator the autograd baseline differentiates.
 func WAForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float64) float64 {
 	nw := e.Workers()
-	part := make([]float64, nw)
+	part := e.Alloc(nw)
 	e.LaunchChunks("wl.wa_fwd", d.NumNets(), func(w, lo, hi int) {
 		var wa float64
 		for n := lo; n < hi; n++ {
@@ -143,6 +146,7 @@ func WAForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float6
 	for w := 0; w < nw; w++ {
 		total += part[w]
 	}
+	e.Free(part)
 	return total
 }
 
@@ -151,35 +155,8 @@ func WAForward(e *kernel.Engine, d *netlist.Design, x, y []float64, gamma float6
 func HPWL(e *kernel.Engine, d *netlist.Design, x, y []float64) float64 {
 	return e.ParallelReduce("wl.hpwl", d.NumNets(), 0,
 		func(lo, hi int) float64 {
-			var hp float64
-			for n := lo; n < hi; n++ {
-				s, e := d.NetPinStart[n], d.NetPinStart[n+1]
-				if e-s < 2 {
-					continue
-				}
-				minX, maxX := math.Inf(1), math.Inf(-1)
-				minY, maxY := math.Inf(1), math.Inf(-1)
-				for p := s; p < e; p++ {
-					c := d.PinCell[p]
-					px := x[c] + d.PinOffX[p]
-					py := y[c] + d.PinOffY[p]
-					if px < minX {
-						minX = px
-					}
-					if px > maxX {
-						maxX = px
-					}
-					if py < minY {
-						minY = py
-					}
-					if py > maxY {
-						maxY = py
-					}
-				}
-				hp += (maxX - minX) + (maxY - minY)
-			}
-			return hp
-		}, func(a, b float64) float64 { return a + b })
+			return hpwlRange(d, x, y, lo, hi)
+		}, sumFloat)
 }
 
 // PinToCellGrad scatters per-pin gradients onto cell centers as one kernel

@@ -52,6 +52,9 @@ type (
 	Engine = kernel.Engine
 	// EngineStats is an Engine accounting snapshot.
 	EngineStats = kernel.Stats
+	// ArenaStats is the engine buffer-arena accounting (checkout hits,
+	// misses, bytes in use / pooled / peak).
+	ArenaStats = kernel.ArenaStats
 	// PlacementOptions configures global placement.
 	PlacementOptions = placer.Options
 	// PlacementResult is a global placement outcome.
