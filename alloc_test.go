@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"xplace/internal/benchgen"
+	"xplace/internal/field"
+	"xplace/internal/geom"
 	"xplace/internal/placer"
 )
 
@@ -35,5 +37,25 @@ func TestSteadyStateIterationAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state GP iteration allocs = %v, want 0", allocs)
+	}
+}
+
+// TestPoissonSolveAllocFree: the full spectral solve — including the v2
+// batched potential/field evaluation — stays off the Go heap once the
+// plan's arena-backed scratch is warm.
+func TestPoissonSolveAllocFree(t *testing.T) {
+	e := benchEngine()
+	defer e.Close()
+	g := geom.NewGrid(geom.Rect{Hx: 64, Hy: 64}, 64, 64)
+	s := field.NewSystem(g, e)
+	for i := range s.Total {
+		s.Total[i] = float64(i%11) * 0.1
+	}
+	s.SolvePoisson(e)
+	allocs := testing.AllocsPerRun(50, func() {
+		s.SolvePoisson(e)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Poisson solve allocs = %v, want 0", allocs)
 	}
 }

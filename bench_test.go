@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"xplace/internal/benchgen"
+	"xplace/internal/field"
+	"xplace/internal/geom"
 	"xplace/internal/kernel"
 	"xplace/internal/placer"
 	"xplace/internal/router"
@@ -142,6 +144,26 @@ func BenchmarkPlaceIteration(b *testing.B) {
 		if err := p.RunIteration(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSpectralSolve measures the full Poisson solve (forward DCT,
+// spectral scale, batched potential/field evaluation, energy reduce) on a
+// production-sized density grid — the dominant non-scatter cost of a GP
+// iteration and the target of the v2 spectral engine.
+func BenchmarkSpectralSolve(b *testing.B) {
+	e := benchEngine()
+	defer e.Close()
+	g := geom.NewGrid(geom.Rect{Hx: 256, Hy: 256}, 256, 256)
+	s := field.NewSystem(g, e)
+	for i := range s.Total {
+		s.Total[i] = float64(i%17) * 0.05
+	}
+	s.SolvePoisson(e) // warm the plan scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SolvePoisson(e)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	-figure 3  FNO training curve, parameter count, resolution transfer
 //	           and flip trick (Figure 3 / §4.3)
 //	-figure r  the early-stage r = lambda|gradD|/|gradWL| trace (§3.1.4)
+//	-spectral  v1-vs-v2 spectral engine ablation (DCT round trip and
+//	           batched Poisson field evaluation, 256-1024 grids)
 //	-all       everything
 //
 // GP seconds are SIMULATED seconds: parallel compute plus kernel-launch
@@ -30,6 +32,7 @@ import (
 
 	"xplace"
 	"xplace/internal/benchgen"
+	"xplace/internal/dct"
 	"xplace/internal/kernel"
 	"xplace/internal/placer"
 )
@@ -45,6 +48,7 @@ var (
 	table     = flag.Int("table", 0, "regenerate one table (1-4)")
 	figure    = flag.String("figure", "", "regenerate one figure (2, 3, r)")
 	substrate = flag.Bool("substrate", false, "report execution-substrate stats (arena, per-op allocs)")
+	spectral  = flag.Bool("spectral", false, "report the spectral-engine ablation (v1 vs v2 transforms)")
 	all       = flag.Bool("all", false, "regenerate every table and figure")
 )
 
@@ -57,7 +61,7 @@ func engine() *kernel.Engine {
 
 func main() {
 	flag.Parse()
-	if !*all && *table == 0 && *figure == "" && !*substrate {
+	if !*all && *table == 0 && *figure == "" && !*substrate && !*spectral {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -85,6 +89,57 @@ func main() {
 	if *all || *substrate {
 		substrateReport()
 	}
+	if *all || *spectral {
+		spectralReport()
+	}
+}
+
+// --------------------------------------------------------------- spectral
+
+// spectralReport times the two spectral engines (DESIGN.md §5): the v1
+// mirrored length-2N FFT with per-column gather against the v2 Makhoul
+// real-even kernels with the tiled column transpose, on the forward+inverse
+// round trip and on the batched Poisson field evaluation.
+func spectralReport() {
+	fmt.Println("== Spectral engine ablation: v1 (mirrored FFT) vs v2 (Makhoul + tiled) ==")
+	fmt.Println("(wall time per call, single-threaded; the GP hot path runs the")
+	fmt.Println(" field evaluation once per iteration)")
+	fmt.Println()
+	fmt.Printf("%-8s %6s | %14s %14s %8s\n", "op", "grid", "v1 ms", "v2 ms", "v1/v2")
+	timeOp := func(f func()) float64 {
+		f() // warm scratch
+		reps := 1
+		start := time.Now()
+		for time.Since(start) < 200*time.Millisecond {
+			f()
+			reps++
+		}
+		return float64(time.Since(start).Microseconds()) / 1000 / float64(reps)
+	}
+	for _, n := range []int{256, 512, 1024} {
+		f := make([]float64, n*n)
+		for i := range f {
+			f[i] = float64(i%17) * 0.1
+		}
+		coef := make([]float64, n*n)
+		out := make([]float64, n*n)
+		ex := make([]float64, n*n)
+		ey := make([]float64, n*n)
+		sx := make([]float64, n)
+		sy := make([]float64, n)
+		for i := range sx {
+			sx[i] = float64(i) / float64(n)
+			sy[i] = float64(i) / float64(n)
+		}
+		p1, p2 := dct.NewPlanV1(n, n), dct.NewPlan(n, n)
+		rt1 := timeOp(func() { p1.DCT2(f, coef, nil); p1.EvalCosCos(coef, out, nil) })
+		rt2 := timeOp(func() { p2.DCT2(f, coef, nil); p2.EvalCosCos(coef, out, nil) })
+		fmt.Printf("%-8s %6d | %14.2f %14.2f %7.2fx\n", "dct+idct", n, rt1, rt2, rt1/rt2)
+		fe1 := timeOp(func() { p1.EvalPotentialField(coef, sx, sy, out, ex, ey, nil) })
+		fe2 := timeOp(func() { p2.EvalPotentialField(coef, sx, sy, out, ex, ey, nil) })
+		fmt.Printf("%-8s %6d | %14.2f %14.2f %7.2fx\n", "field", n, fe1, fe2, fe1/fe2)
+	}
+	fmt.Println()
 }
 
 // -------------------------------------------------------------- substrate

@@ -6,30 +6,64 @@ import (
 	"sync"
 )
 
+// tileW is the column-tile width of the v2 column pass: the cache-blocked
+// transpose gathers tileW adjacent columns per block so every read of the
+// intermediate matrix is a contiguous tileW-wide run instead of a stride-Nx
+// element gather. 16 float64 = two cache lines per row touched.
+const tileW = 16
+
 // Plan holds precomputed state for 2-D transforms on an Nx x Ny grid
 // (row-major indexing: f[y*Nx+x]). Both dimensions must be powers of two.
 //
-// A Plan owns all scratch for its transforms — the intermediate matrix,
-// per-chunk FFT buffers, and column gather/scatter buffers — so steady-state
-// transforms perform no heap allocations. Transforms are serialized by an
+// A Plan owns all scratch for its transforms — the intermediate matrices,
+// per-chunk FFT buffers, and column tile buffers — so steady-state
+// transforms perform no heap allocations. Scratch is drawn from the
+// launcher's arena when it provides one (see ArenaLauncher), keeping the
+// bytes visible in the engine's accounting. Transforms are serialized by an
 // internal mutex, keeping a Plan safe for concurrent use.
+//
+// Two spectral engines are implemented behind the same API:
+//
+//	v2 (NewPlan, the default): Makhoul real-even kernels — the forward
+//	DCT-II runs a packed length-N/2 complex FFT per row and the evaluation
+//	transforms one length-N inverse FFT (see makhoul.go) — and a
+//	cache-blocked transpose column pass (tileW columns per block).
+//	v1 (NewPlanV1, kept for ablation): mirrored length-2N complex FFT per
+//	row and a per-column element-wise gather.
 type Plan struct {
-	Nx, Ny int
+	Nx, Ny  int
+	version int
+
+	// v1 FFT plans (mirrored/zero-padded transforms).
 	rowFFT *fftPlan // length 2*Nx
 	colFFT *fftPlan // length 2*Ny
+
+	// v2 FFT plans (packed real / full-length transforms).
+	rowHalf *fftPlan // length Nx/2 (nil when Nx < 4)
+	rowFull *fftPlan // length Nx
+	colHalf *fftPlan // length Ny/2 (nil when Ny < 4)
+	colFull *fftPlan // length Ny
 
 	// Half-angle twiddles cos/sin(pi*k/(2N)), precomputed once.
 	cosHx, sinHx []float64
 	cosHy, sinHy []float64
 
-	mu  sync.Mutex
-	tmp []float64 // nx*ny intermediate (rows pass output)
+	// v2 real-FFT unpack twiddles e^{-2*pi*i*k/N}, k = 0..N/2-1.
+	unpX, unpY []complex128
+
+	mu   sync.Mutex
+	tmp  []float64 // nx*ny intermediate (rows pass output), lazily allocated
+	tmp2 []float64 // second intermediate for the batched field evaluation
 
 	// Per-chunk scratch, grown on demand to the launcher's worker count.
-	scratchRow [][]complex128 // 2*nx each
-	scratchCol [][]complex128 // 2*ny each
-	colBuf     [][]float64    // ny each
-	outBuf     [][]float64    // ny each
+	scratch [][]complex128 // FFT buffer: max(nx,ny) (v2) or 2*max (v1)
+	rowReal [][]float64    // real staging row: max(nx,ny)
+	tileIn  [][]float64    // gathered input columns: tileW*ny (ny for v1)
+	tileOut [][]float64    // transformed columns:    tileW*ny (ny for v1)
+	// Field-evaluation tiles, grown only once EvalPotentialField is used.
+	tileIn2  [][]float64 // gathered tmp2 columns (Ex input)
+	tileOutB [][]float64 // Ex output columns
+	tileOutC [][]float64 // Ey output columns
 
 	// Per-transform parameters consumed by the persistent bodies. Stored in
 	// fields (rather than captured by per-call closures) so launching a
@@ -38,7 +72,13 @@ type Plan struct {
 	sinX, sinY bool
 	forward    bool
 
-	rowsBody, colsBody func(chunk, start, end int)
+	// Batched field-evaluation parameters.
+	coefIn, sx, sy       []float64
+	dstPsi, dstEx, dstEy []float64
+
+	rowsBody, colsBody           func(chunk, start, end int)
+	fieldRowsBody, fieldColsBody func(chunk, start, end int)
+	scaleXBody, scaleYBody       func(start, end int)
 }
 
 // Launcher abstracts kernel.Engine for data-parallel execution so this
@@ -50,17 +90,75 @@ type Launcher interface {
 	Workers() int
 }
 
-// NewPlan creates a transform plan for an Nx x Ny grid.
-func NewPlan(nx, ny int) *Plan {
+// ArenaLauncher is a Launcher that also owns a scratch allocator
+// (kernel.Engine satisfies it). Plans draw their long-lived scratch from it
+// when available so the buffers show up in the engine's arena accounting;
+// otherwise they fall back to plain make.
+type ArenaLauncher interface {
+	Launcher
+	Alloc(n int) []float64
+	AllocComplex(n int) []complex128
+}
+
+// NewPlan creates a v2 (Makhoul + tiled transpose) transform plan for an
+// Nx x Ny grid.
+func NewPlan(nx, ny int) *Plan { return newPlan(nx, ny, 2) }
+
+// NewPlanV1 creates a plan using the original mirrored-FFT row kernels and
+// element-wise column gather. Kept for ablation benchmarks and as a
+// reference implementation; produces identical results to NewPlan.
+func NewPlanV1(nx, ny int) *Plan { return newPlan(nx, ny, 1) }
+
+// Version reports the spectral engine revision (1 or 2) behind this plan.
+func (p *Plan) Version() int { return p.version }
+
+func newPlan(nx, ny, version int) *Plan {
 	if nx <= 0 || ny <= 0 || nx&(nx-1) != 0 || ny&(ny-1) != 0 {
 		panic(fmt.Sprintf("dct: grid %dx%d must be powers of two", nx, ny))
 	}
-	p := &Plan{Nx: nx, Ny: ny, rowFFT: newFFTPlan(2 * nx), colFFT: newFFTPlan(2 * ny)}
+	p := &Plan{Nx: nx, Ny: ny, version: version}
 	p.cosHx, p.sinHx = halfTwiddles(nx)
 	p.cosHy, p.sinHy = halfTwiddles(ny)
-	p.tmp = make([]float64, nx*ny)
+	if version == 1 {
+		p.rowFFT = newFFTPlan(2 * nx)
+		p.colFFT = newFFTPlan(2 * ny)
+		p.buildV1Bodies()
+	} else {
+		p.rowFull = newFFTPlan(nx)
+		p.colFull = newFFTPlan(ny)
+		if nx >= 4 {
+			p.rowHalf = newFFTPlan(nx / 2)
+		}
+		if ny >= 4 {
+			p.colHalf = newFFTPlan(ny / 2)
+		}
+		p.unpX = unpackTwiddles(nx)
+		p.unpY = unpackTwiddles(ny)
+		p.buildV2Bodies()
+	}
+	p.buildFieldBodies()
+	return p
+}
+
+// unpackTwiddles returns e^{-2*pi*i*k/n} for k = 0..n/2-1 (the real-FFT
+// unpack rotation used by dctIIMakhoul).
+func unpackTwiddles(n int) []complex128 {
+	m := n / 2
+	if m < 1 {
+		m = 1
+	}
+	w := make([]complex128, m)
+	for k := range w {
+		ang := -2 * math.Pi * float64(k) / float64(n)
+		w[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	return w
+}
+
+func (p *Plan) buildV1Bodies() {
+	nx := p.Nx
 	p.rowsBody = func(chunk, lo, hi int) {
-		scratch := p.scratchRow[chunk]
+		scratch := p.scratch[chunk][:2*nx]
 		if p.forward {
 			for y := lo; y < hi; y++ {
 				dctIIRow(p.src[y*nx:(y+1)*nx], p.tmp[y*nx:(y+1)*nx], p.rowFFT, scratch, p.cosHx, p.sinHx)
@@ -73,24 +171,171 @@ func NewPlan(nx, ny int) *Plan {
 	}
 	p.colsBody = func(chunk, lo, hi int) {
 		ny := p.Ny
-		scratch := p.scratchCol[chunk]
-		col := p.colBuf[chunk]
-		out := p.outBuf[chunk]
+		scratch := p.scratch[chunk]
+		col := p.tileIn[chunk]
+		out := p.tileOut[chunk]
 		for x := lo; x < hi; x++ {
 			for y := 0; y < ny; y++ {
 				col[y] = p.tmp[y*nx+x]
 			}
 			if p.forward {
-				dctIIRow(col, out, p.colFFT, scratch, p.cosHy, p.sinHy)
+				dctIIRow(col, out, p.colFFT, scratch[:2*ny], p.cosHy, p.sinHy)
 			} else {
-				evalRow(col, out, p.colFFT, scratch, p.cosHy, p.sinHy, p.sinY)
+				evalRow(col, out, p.colFFT, scratch[:2*ny], p.cosHy, p.sinHy, p.sinY)
 			}
 			for y := 0; y < ny; y++ {
 				p.dst[y*nx+x] = out[y]
 			}
 		}
 	}
-	return p
+}
+
+func (p *Plan) buildV2Bodies() {
+	nx := p.Nx
+	p.rowsBody = func(chunk, lo, hi int) {
+		scratch := p.scratch[chunk]
+		if p.forward {
+			for y := lo; y < hi; y++ {
+				dctIIMakhoul(p.src[y*nx:(y+1)*nx], p.tmp[y*nx:(y+1)*nx], p.rowHalf, scratch, p.unpX, p.cosHx, p.sinHx)
+			}
+		} else {
+			for v := lo; v < hi; v++ {
+				row := p.src[v*nx : (v+1)*nx]
+				out := p.tmp[v*nx : (v+1)*nx]
+				if p.sinX {
+					evalMakhoul(row, nil, out, p.rowFull, scratch, p.cosHx, p.sinHx)
+				} else {
+					evalMakhoul(row, out, nil, p.rowFull, scratch, p.cosHx, p.sinHx)
+				}
+			}
+		}
+	}
+	// Tiled column pass: gather tileW columns into contiguous buffers
+	// (reading the intermediate matrix row by row), run the row kernel on
+	// each buffered column, scatter back. Replaces the v1 per-column
+	// element-wise gather whose every read missed a fresh cache line.
+	p.colsBody = func(chunk, lo, hi int) {
+		ny := p.Ny
+		scratch := p.scratch[chunk]
+		tin := p.tileIn[chunk]
+		tout := p.tileOut[chunk]
+		for x0 := lo; x0 < hi; x0 += tileW {
+			w := hi - x0
+			if w > tileW {
+				w = tileW
+			}
+			for y := 0; y < ny; y++ {
+				base := y*nx + x0
+				for b := 0; b < w; b++ {
+					tin[b*ny+y] = p.tmp[base+b]
+				}
+			}
+			for b := 0; b < w; b++ {
+				col := tin[b*ny : (b+1)*ny]
+				out := tout[b*ny : (b+1)*ny]
+				if p.forward {
+					dctIIMakhoul(col, out, p.colHalf, scratch, p.unpY, p.cosHy, p.sinHy)
+				} else if p.sinY {
+					evalMakhoul(col, nil, out, p.colFull, scratch, p.cosHy, p.sinHy)
+				} else {
+					evalMakhoul(col, out, nil, p.colFull, scratch, p.cosHy, p.sinHy)
+				}
+			}
+			for y := 0; y < ny; y++ {
+				base := y*nx + x0
+				for b := 0; b < w; b++ {
+					p.dst[base+b] = tout[b*ny+y]
+				}
+			}
+		}
+	}
+}
+
+// buildFieldBodies wires the batched potential/field evaluation. The v2
+// bodies compute all three Poisson outputs (Psi, Ex, Ey) in one two-pass
+// sweep; the v1 scale bodies support the sequential fallback.
+func (p *Plan) buildFieldBodies() {
+	nx := p.Nx
+	// Rows pass (per coefficient row v): the cos-x series of coef feeds both
+	// Psi and Ey (Ey's extra factor sy[v] is constant within a row, so it is
+	// applied in the column pass), and the sin-x series of coef*sx feeds Ex.
+	// Two length-Nx inverse FFTs per row replace v1's three length-2Nx.
+	p.fieldRowsBody = func(chunk, lo, hi int) {
+		scratch := p.scratch[chunk]
+		srow := p.rowReal[chunk][:nx]
+		for v := lo; v < hi; v++ {
+			row := p.coefIn[v*nx : (v+1)*nx]
+			evalMakhoul(row, p.tmp[v*nx:(v+1)*nx], nil, p.rowFull, scratch, p.cosHx, p.sinHx)
+			for u := 0; u < nx; u++ {
+				srow[u] = row[u] * p.sx[u]
+			}
+			evalMakhoul(srow, nil, p.tmp2[v*nx:(v+1)*nx], p.rowFull, scratch, p.cosHx, p.sinHx)
+		}
+	}
+	// Columns pass (per column x, tiled): cos-y of tmp -> Psi, sin-y of
+	// sy*tmp -> Ey, cos-y of tmp2 -> Ex. One gather and one scatter serve
+	// all three outputs.
+	p.fieldColsBody = func(chunk, lo, hi int) {
+		ny := p.Ny
+		scratch := p.scratch[chunk]
+		tA := p.tileIn[chunk]
+		tB := p.tileIn2[chunk]
+		tPsi := p.tileOut[chunk]
+		tEx := p.tileOutB[chunk]
+		tEy := p.tileOutC[chunk]
+		eyIn := p.rowReal[chunk][:ny]
+		for x0 := lo; x0 < hi; x0 += tileW {
+			w := hi - x0
+			if w > tileW {
+				w = tileW
+			}
+			for y := 0; y < ny; y++ {
+				base := y*nx + x0
+				for b := 0; b < w; b++ {
+					tA[b*ny+y] = p.tmp[base+b]
+					tB[b*ny+y] = p.tmp2[base+b]
+				}
+			}
+			for b := 0; b < w; b++ {
+				colA := tA[b*ny : (b+1)*ny]
+				evalMakhoul(colA, tPsi[b*ny:(b+1)*ny], nil, p.colFull, scratch, p.cosHy, p.sinHy)
+				for v := 0; v < ny; v++ {
+					eyIn[v] = colA[v] * p.sy[v]
+				}
+				evalMakhoul(eyIn, nil, tEy[b*ny:(b+1)*ny], p.colFull, scratch, p.cosHy, p.sinHy)
+				evalMakhoul(tB[b*ny:(b+1)*ny], tEx[b*ny:(b+1)*ny], nil, p.colFull, scratch, p.cosHy, p.sinHy)
+			}
+			for y := 0; y < ny; y++ {
+				base := y*nx + x0
+				for b := 0; b < w; b++ {
+					p.dstPsi[base+b] = tPsi[b*ny+y]
+					p.dstEx[base+b] = tEx[b*ny+y]
+					p.dstEy[base+b] = tEy[b*ny+y]
+				}
+			}
+		}
+	}
+	// v1 fallback scale kernels: tmp2 = coefIn * sx[u] (per column) or
+	// * sy[v] (per row), launched over the Ny coefficient rows.
+	p.scaleXBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			row := p.coefIn[v*nx : (v+1)*nx]
+			out := p.tmp2[v*nx : (v+1)*nx]
+			for u := 0; u < nx; u++ {
+				out[u] = row[u] * p.sx[u]
+			}
+		}
+	}
+	p.scaleYBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			s := p.sy[v]
+			row := p.coefIn[v*nx : (v+1)*nx]
+			out := p.tmp2[v*nx : (v+1)*nx]
+			for u := 0; u < nx; u++ {
+				out[u] = row[u] * s
+			}
+		}
+	}
 }
 
 func (p *Plan) checkSize(buf []float64, what string) {
@@ -99,17 +344,73 @@ func (p *Plan) checkSize(buf []float64, what string) {
 	}
 }
 
-// ensureChunks grows the per-chunk scratch pools to at least w entries.
-// Called with p.mu held; allocates only when the worker count first grows.
-func (p *Plan) ensureChunks(w int) {
+// allocF draws a float64 buffer from the launcher's arena when it has one.
+func (p *Plan) allocF(L Launcher, n int) []float64 {
+	if a, ok := L.(ArenaLauncher); ok {
+		return a.Alloc(n)
+	}
+	return make([]float64, n)
+}
+
+// allocC draws a complex128 buffer from the launcher's arena when it has one.
+func (p *Plan) allocC(L Launcher, n int) []complex128 {
+	if a, ok := L.(ArenaLauncher); ok {
+		return a.AllocComplex(n)
+	}
+	return make([]complex128, n)
+}
+
+// ensure grows the plan's scratch for use with L. Called with p.mu held;
+// the early-out keeps steady-state transforms allocation-free.
+func (p *Plan) ensure(L Launcher) {
+	w := L.Workers()
 	if w < 1 {
 		w = 1
 	}
-	for len(p.scratchRow) < w {
-		p.scratchRow = append(p.scratchRow, make([]complex128, 2*p.Nx))
-		p.scratchCol = append(p.scratchCol, make([]complex128, 2*p.Ny))
-		p.colBuf = append(p.colBuf, make([]float64, p.Ny))
-		p.outBuf = append(p.outBuf, make([]float64, p.Ny))
+	if p.tmp != nil && len(p.scratch) >= w {
+		return
+	}
+	if p.tmp == nil {
+		p.tmp = p.allocF(L, p.Nx*p.Ny)
+	}
+	maxN := p.Nx
+	if p.Ny > maxN {
+		maxN = p.Ny
+	}
+	cplx := maxN // v2 kernels need at most N complex values
+	if p.version == 1 {
+		cplx = 2 * maxN // mirrored transforms need 2N
+	}
+	colN := tileW * p.Ny
+	if p.version == 1 {
+		colN = p.Ny // v1 processes one column at a time
+	}
+	for len(p.scratch) < w {
+		p.scratch = append(p.scratch, p.allocC(L, cplx))
+		p.rowReal = append(p.rowReal, p.allocF(L, maxN))
+		p.tileIn = append(p.tileIn, p.allocF(L, colN))
+		p.tileOut = append(p.tileOut, p.allocF(L, colN))
+	}
+	// Keep the field tiles in step if EvalPotentialField already ran once.
+	if p.tmp2 != nil {
+		p.ensureField(L, w)
+	}
+}
+
+// ensureField grows the batched-field scratch (second intermediate and the
+// extra column tiles), which only EvalPotentialField needs.
+func (p *Plan) ensureField(L Launcher, w int) {
+	if p.tmp2 == nil {
+		p.tmp2 = p.allocF(L, p.Nx*p.Ny)
+	}
+	if p.version == 1 {
+		return // the fallback path reuses the single-transform scratch
+	}
+	colN := tileW * p.Ny
+	for len(p.tileIn2) < w {
+		p.tileIn2 = append(p.tileIn2, p.allocF(L, colN))
+		p.tileOutB = append(p.tileOutB, p.allocF(L, colN))
+		p.tileOutC = append(p.tileOutC, p.allocF(L, colN))
 	}
 }
 
@@ -118,14 +419,14 @@ func (p *Plan) ensureChunks(w int) {
 // kernel names are passed as literals by each transform so launching never
 // builds a string.
 func (p *Plan) run(L Launcher, rowsName, colsName string) {
-	p.ensureChunks(L.Workers())
+	p.ensure(L)
 	L.LaunchChunks(rowsName, p.Ny, p.rowsBody)
 	L.LaunchChunks(colsName, p.Nx, p.colsBody)
 	p.src, p.dst = nil, nil
 }
 
 // dctIIRow computes the unnormalized 1-D DCT-II of src into dst using the
-// mirrored length-2N FFT identity. scratch must have length 2N.
+// mirrored length-2N FFT identity (v1 kernel). scratch must have length 2N.
 func dctIIRow(src, dst []float64, fp *fftPlan, scratch []complex128, cosHalf, sinHalf []float64) {
 	n := len(src)
 	for i := 0; i < n; i++ {
@@ -141,8 +442,9 @@ func dctIIRow(src, dst []float64, fp *fftPlan, scratch []complex128, cosHalf, si
 }
 
 // evalRow evaluates f_n = sum_u c_u * e^{i*pi*u*(2n+1)/(2N)} for n=0..N-1
-// via one inverse-DFT of length 2N; the cosine series is the real part and
-// the sine series the imaginary part. wantSin selects which lands in dst.
+// via one inverse-DFT of length 2N (v1 kernel); the cosine series is the
+// real part and the sine series the imaginary part. wantSin selects which
+// lands in dst.
 func evalRow(coef, dst []float64, fp *fftPlan, scratch []complex128, cosHalf, sinHalf []float64, wantSin bool) {
 	n := len(coef)
 	for u := 0; u < n; u++ {
@@ -188,18 +490,16 @@ func (p *Plan) DCT2(src, dst []float64, L Launcher) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.src, p.dst, p.forward = src, dst, true
-	p.run(L, "dct2.rows", "dct2.cols")
+	if p.version == 1 {
+		p.run(L, "dct2.rows", "dct2.cols")
+	} else {
+		p.run(L, "spectral2.fwd_rows", "spectral2.fwd_cols")
+	}
 }
 
 // eval2D is the shared implementation of the three evaluation transforms.
+// Caller must hold p.mu.
 func (p *Plan) eval2D(coef, dst []float64, L Launcher, sinX, sinY bool, rowsName, colsName string) {
-	p.checkSize(coef, "coef")
-	p.checkSize(dst, "dst")
-	if L == nil {
-		L = Serial
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.src, p.dst, p.forward = coef, dst, false
 	p.sinX, p.sinY = sinX, sinY
 	p.run(L, rowsName, colsName)
@@ -208,16 +508,100 @@ func (p *Plan) eval2D(coef, dst []float64, L Launcher, sinX, sinY bool, rowsName
 // EvalCosCos evaluates the cos-cos series (inverse DCT direction):
 // dst[y][x] = sum_{v,u} coef[v][u] cos(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
 func (p *Plan) EvalCosCos(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, false, false, "idct2.rows", "idct2.cols")
+	p.checkSize(coef, "coef")
+	p.checkSize(dst, "dst")
+	if L == nil {
+		L = Serial
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.version == 1 {
+		p.eval2D(coef, dst, L, false, false, "idct2.rows", "idct2.cols")
+	} else {
+		p.eval2D(coef, dst, L, false, false, "spectral2.coscos_rows", "spectral2.coscos_cols")
+	}
 }
 
 // EvalSinCos evaluates the sin-in-x, cos-in-y series (the x electric field):
 // dst[y][x] = sum_{v,u} coef[v][u] sin(pi u (2x+1)/(2Nx)) cos(pi v (2y+1)/(2Ny)).
 func (p *Plan) EvalSinCos(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, true, false, "idsct2.rows", "idsct2.cols")
+	p.checkSize(coef, "coef")
+	p.checkSize(dst, "dst")
+	if L == nil {
+		L = Serial
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.version == 1 {
+		p.eval2D(coef, dst, L, true, false, "idsct2.rows", "idsct2.cols")
+	} else {
+		p.eval2D(coef, dst, L, true, false, "spectral2.sincos_rows", "spectral2.sincos_cols")
+	}
 }
 
 // EvalCosSin evaluates the cos-in-x, sin-in-y series (the y electric field).
 func (p *Plan) EvalCosSin(coef, dst []float64, L Launcher) {
-	p.eval2D(coef, dst, L, false, true, "idcst2.rows", "idcst2.cols")
+	p.checkSize(coef, "coef")
+	p.checkSize(dst, "dst")
+	if L == nil {
+		L = Serial
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.version == 1 {
+		p.eval2D(coef, dst, L, false, true, "idcst2.rows", "idcst2.cols")
+	} else {
+		p.eval2D(coef, dst, L, false, true, "spectral2.cossin_rows", "spectral2.cossin_cols")
+	}
+}
+
+// EvalPotentialField evaluates the three Poisson-solver output series in one
+// batched sweep:
+//
+//	psi[y][x] = sum coef[v][u]         * cos_u(x) * cos_v(y)
+//	ex[y][x]  = sum coef[v][u] * sx[u] * sin_u(x) * cos_v(y)
+//	ey[y][x]  = sum coef[v][u] * sy[v] * cos_u(x) * sin_v(y)
+//
+// with cos_u(x) = cos(pi*u*(2x+1)/(2*Nx)) etc. sx has length Nx and sy
+// length Ny (the Poisson solver passes the spatial frequencies wu, wv). On
+// a v2 plan the shared cos-x row transform is computed once and each column
+// is gathered once for all three outputs — two launched passes total,
+// versus three independent evaluations (six passes) plus two scale kernels
+// for the unbatched path. A v1 plan falls back to exactly that sequential
+// path, so both versions produce identical results.
+func (p *Plan) EvalPotentialField(coef, sx, sy, psi, ex, ey []float64, L Launcher) {
+	p.checkSize(coef, "coef")
+	p.checkSize(psi, "psi")
+	p.checkSize(ex, "ex")
+	p.checkSize(ey, "ey")
+	if len(sx) != p.Nx || len(sy) != p.Ny {
+		panic(fmt.Sprintf("dct: scale vectors %dx%d, want %dx%d", len(sx), len(sy), p.Nx, p.Ny))
+	}
+	if L == nil {
+		L = Serial
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensure(L)
+	w := L.Workers()
+	if w < 1 {
+		w = 1
+	}
+	p.ensureField(L, w)
+	p.coefIn, p.sx, p.sy = coef, sx, sy
+	if p.version == 1 {
+		// Sequential fallback: three evaluations with explicit coefficient
+		// scaling through tmp2 (matches the pre-batching solver structure).
+		p.eval2D(coef, psi, L, false, false, "idct2.rows", "idct2.cols")
+		L.Launch("spectral.scale_x", p.Ny, p.scaleXBody)
+		p.eval2D(p.tmp2, ex, L, true, false, "idsct2.rows", "idsct2.cols")
+		L.Launch("spectral.scale_y", p.Ny, p.scaleYBody)
+		p.eval2D(p.tmp2, ey, L, false, true, "idcst2.rows", "idcst2.cols")
+	} else {
+		p.dstPsi, p.dstEx, p.dstEy = psi, ex, ey
+		L.LaunchChunks("spectral2.field_rows", p.Ny, p.fieldRowsBody)
+		L.LaunchChunks("spectral2.field_cols", p.Nx, p.fieldColsBody)
+		p.dstPsi, p.dstEx, p.dstEy = nil, nil, nil
+	}
+	p.coefIn, p.sx, p.sy = nil, nil, nil
 }

@@ -69,7 +69,6 @@ type System struct {
 
 	plan    *dct.Plan
 	coef    []float64 // DCT coefficients scratch
-	coefE   []float64 // field coefficient scratch
 	wu, wv  []float64 // frequencies pi*u/Nx, pi*v/Ny
 	scratch [][]float64
 	workers int
@@ -96,8 +95,6 @@ type System struct {
 	mergeBody    func(lo, hi int)
 	addBody      func(lo, hi int)
 	spectralBody func(lo, hi int)
-	exCoefBody   func(lo, hi int)
-	eyCoefBody   func(lo, hi int)
 	energyBody   func(lo, hi int) float64
 	gatherBody   func(lo, hi int)
 	ovBody       func(lo, hi int) float64
@@ -122,7 +119,6 @@ func NewSystem(grid geom.Grid, e *kernel.Engine) *System {
 		Ey:      make([]float64, nx*ny),
 		plan:    dct.NewPlan(nx, ny),
 		coef:    make([]float64, nx*ny),
-		coefE:   make([]float64, nx*ny),
 		wu:      make([]float64, nx),
 		wv:      make([]float64, ny),
 		workers: e.Workers(),
@@ -209,21 +205,6 @@ func (s *System) buildBodies() {
 					continue
 				}
 				s.coef[idx] *= fu * fv / (s.wu[u]*s.wu[u] + wv2)
-			}
-		}
-	}
-	s.exCoefBody = func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			for u := 0; u < nx; u++ {
-				s.coefE[v*nx+u] = s.coef[v*nx+u] * s.wu[u]
-			}
-		}
-	}
-	s.eyCoefBody = func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			wv := s.wv[v]
-			for u := 0; u < nx; u++ {
-				s.coefE[v*nx+u] = s.coef[v*nx+u] * wv
 			}
 		}
 	}
@@ -339,22 +320,17 @@ func (s *System) AddMaps(e *kernel.Engine, a, b, dst []float64) {
 }
 
 // SolvePoisson solves Eq. 5 for s.Total: forward DCT, spectral division by
-// (wu^2 + wv^2), and the three inverse evaluations for potential and both
-// field components. Returns the system energy 0.5 * sum(rho * psi) — the
-// density penalty D(p) of Eq. 3.
+// (wu^2 + wv^2), and one batched evaluation producing the potential and
+// both field components (Ex = sum c*wu*sin*cos, Ey = sum c*wv*cos*sin) —
+// the shared cos-x row transform and column gathers are computed once
+// instead of per output. Returns the system energy 0.5 * sum(rho * psi) —
+// the density penalty D(p) of Eq. 3.
 func (s *System) SolvePoisson(e *kernel.Engine) float64 {
 	nx, ny := s.Nx, s.Ny
 	s.plan.DCT2(s.Total, s.coef, e)
 	// Normalize to true series coefficients and divide by (wu^2+wv^2).
 	e.Launch("poisson.spectral_scale", ny, s.spectralBody)
-	// Potential.
-	s.plan.EvalCosCos(s.coef, s.Psi, e)
-	// Ex = -dPsi/dx = sum c*wu*sin(wu(x+1/2))cos(wv(y+1/2)).
-	e.Launch("poisson.ex_coef", ny, s.exCoefBody)
-	s.plan.EvalSinCos(s.coefE, s.Ex, e)
-	// Ey.
-	e.Launch("poisson.ey_coef", ny, s.eyCoefBody)
-	s.plan.EvalCosSin(s.coefE, s.Ey, e)
+	s.plan.EvalPotentialField(s.coef, s.wu, s.wv, s.Psi, s.Ex, s.Ey, e)
 	// Energy.
 	return e.ParallelReduce("poisson.energy", nx*ny, 0, s.energyBody, sumCombine) * 0.5
 }

@@ -22,11 +22,22 @@ type Arena struct {
 	f  [arenaClasses][][]float64
 	c  [arenaClasses][][]complex128
 	st ArenaStats
+	// limit overrides the pooled-class bound when non-zero (tests lower it
+	// to exercise the unpooled path without gigabyte allocations).
+	limit int
 }
 
 // arenaClasses bounds the largest pooled class at 2^(arenaClasses-1)
 // elements (512M float64 = 4 GiB); larger requests are never pooled.
 const arenaClasses = 30
+
+// poolLimit returns the effective pooled-class bound.
+func (a *Arena) poolLimit() int {
+	if a.limit != 0 {
+		return a.limit
+	}
+	return arenaClasses
+}
 
 // ArenaStats is a snapshot of an Arena's accounting. Byte counts are in
 // class-capacity units (the pooled power-of-two size, 8 bytes per float64
@@ -68,15 +79,27 @@ func capClass(c int) int {
 	return bits.Len(uint(c)) - 1
 }
 
-// Alloc checks out a zeroed []float64 of length n.
+// Alloc checks out a zeroed []float64 of length n. Requests above the
+// largest pooled class are allocated at exact capacity (no power-of-two
+// rounding, which would waste up to 2x memory on huge buffers and overflow
+// 1<<cls near the int limit) and accounted at their actual byte size.
 func (a *Arena) Alloc(n int) []float64 {
 	if n < 0 {
 		panic(fmt.Sprintf("kernel: Arena.Alloc(%d)", n))
 	}
 	cls := sizeClass(n)
-	var buf []float64
 	a.mu.Lock()
-	if cls < arenaClasses && len(a.f[cls]) > 0 {
+	if cls >= a.poolLimit() {
+		a.st.Misses++
+		a.st.InUse += 8 * int64(n)
+		if a.st.InUse > a.st.Peak {
+			a.st.Peak = a.st.InUse
+		}
+		a.mu.Unlock()
+		return make([]float64, n)
+	}
+	var buf []float64
+	if len(a.f[cls]) > 0 {
 		last := len(a.f[cls]) - 1
 		buf = a.f[cls][last]
 		a.f[cls][last] = nil
@@ -102,6 +125,8 @@ func (a *Arena) Alloc(n int) []float64 {
 }
 
 // Free returns a float64 buffer to the arena. Freeing nil is a no-op.
+// Unpooled-size buffers are accounted at actual capacity; InUse never goes
+// negative even when a foreign (never-checked-out) slice is donated.
 func (a *Arena) Free(buf []float64) {
 	if cap(buf) == 0 {
 		return
@@ -109,23 +134,38 @@ func (a *Arena) Free(buf []float64) {
 	cls := capClass(cap(buf))
 	a.mu.Lock()
 	a.st.Frees++
-	a.st.InUse -= 8 << cls
-	if cls < arenaClasses {
+	if cls >= a.poolLimit() {
+		a.st.InUse -= 8 * int64(cap(buf))
+	} else {
+		a.st.InUse -= 8 << cls
 		a.f[cls] = append(a.f[cls], buf[:0])
 		a.st.Pooled += 8 << cls
+	}
+	if a.st.InUse < 0 {
+		a.st.InUse = 0
 	}
 	a.mu.Unlock()
 }
 
-// AllocComplex checks out a zeroed []complex128 of length n.
+// AllocComplex checks out a zeroed []complex128 of length n. Like Alloc,
+// unpooled-size requests get exact capacity and actual-byte accounting.
 func (a *Arena) AllocComplex(n int) []complex128 {
 	if n < 0 {
 		panic(fmt.Sprintf("kernel: Arena.AllocComplex(%d)", n))
 	}
 	cls := sizeClass(n)
-	var buf []complex128
 	a.mu.Lock()
-	if cls < arenaClasses && len(a.c[cls]) > 0 {
+	if cls >= a.poolLimit() {
+		a.st.Misses++
+		a.st.InUse += 16 * int64(n)
+		if a.st.InUse > a.st.Peak {
+			a.st.Peak = a.st.InUse
+		}
+		a.mu.Unlock()
+		return make([]complex128, n)
+	}
+	var buf []complex128
+	if len(a.c[cls]) > 0 {
 		last := len(a.c[cls]) - 1
 		buf = a.c[cls][last]
 		a.c[cls][last] = nil
@@ -158,10 +198,15 @@ func (a *Arena) FreeComplex(buf []complex128) {
 	cls := capClass(cap(buf))
 	a.mu.Lock()
 	a.st.Frees++
-	a.st.InUse -= 16 << cls
-	if cls < arenaClasses {
+	if cls >= a.poolLimit() {
+		a.st.InUse -= 16 * int64(cap(buf))
+	} else {
+		a.st.InUse -= 16 << cls
 		a.c[cls] = append(a.c[cls], buf[:0])
 		a.st.Pooled += 16 << cls
+	}
+	if a.st.InUse < 0 {
+		a.st.InUse = 0
 	}
 	a.mu.Unlock()
 }

@@ -174,9 +174,10 @@ type Engine struct {
 	tracing  bool
 	arena    Arena
 
-	poolMu sync.Mutex
-	pool   *pool
-	closed bool
+	poolMu   sync.Mutex
+	pool     *pool
+	closed   bool
+	inflight sync.WaitGroup // launches holding a pool reference (getPool/putPool)
 
 	mu       sync.Mutex
 	launches int64
@@ -228,9 +229,11 @@ func (e *Engine) Workers() int { return e.workers }
 // LaunchOverhead returns the simulated per-launch cost.
 func (e *Engine) LaunchOverhead() time.Duration { return e.overhead }
 
-// getPool returns the worker pool, spawning it on first use. It returns
-// nil when the engine is closed: launches then fall back to serial
-// execution on the calling goroutine.
+// getPool returns the worker pool, spawning it on first use, and registers
+// the calling launch as in-flight; the caller must pair a non-nil return
+// with putPool once it has finished enqueuing and waiting. It returns nil
+// when the engine is closed: launches then fall back to serial execution on
+// the calling goroutine.
 func (e *Engine) getPool() *pool {
 	e.poolMu.Lock()
 	defer e.poolMu.Unlock()
@@ -240,18 +243,29 @@ func (e *Engine) getPool() *pool {
 	if e.pool == nil {
 		e.pool = newPool(e.workers)
 	}
+	// Registered under poolMu while closed is still false, so Close (which
+	// flips closed under the same lock before waiting) either sees this
+	// launch in the count or the launch sees closed and goes serial — the
+	// task channel can never be closed mid-send.
+	e.inflight.Add(1)
 	return e.pool
 }
 
+// putPool releases the in-flight registration taken by a non-nil getPool.
+func (e *Engine) putPool() { e.inflight.Done() }
+
 // Close tears down the worker pool and drops the arena's pooled buffers.
-// After Close the engine remains usable: launches execute serially on the
-// calling goroutine (and are still accounted). Close is idempotent.
+// It first waits for in-flight launches to finish enqueuing, so a Launch
+// racing with Close can never send on the closed task channel. After Close
+// the engine remains usable: launches execute serially on the calling
+// goroutine (and are still accounted). Close is idempotent.
 func (e *Engine) Close() {
 	e.poolMu.Lock()
 	p := e.pool
 	e.pool = nil
 	e.closed = true
 	e.poolMu.Unlock()
+	e.inflight.Wait()
 	if p != nil {
 		p.close()
 	}
@@ -262,6 +276,11 @@ func (e *Engine) Close() {
 // worker pool; below it the launch runs on the calling goroutine (still
 // counted as one launch — a tiny CUDA kernel still pays its launch cost).
 const minParallel = 2048
+
+// reduceStride is the spacing, in float64 elements, between per-worker
+// partial slots in ParallelReduce: 8 float64 = 64 bytes = one cache line,
+// so concurrent workers never write the same line.
+const reduceStride = 8
 
 // chunkBounds returns the [lo, hi) range of chunk w when n items are split
 // over e.workers contiguous chunks; ok is false past the last chunk.
@@ -304,6 +323,7 @@ func (e *Engine) Launch(name string, n int, body func(start, end int)) {
 			}
 			wg.Wait()
 			wgPool.Put(wg)
+			e.putPool()
 		}
 	}
 	e.account(name, time.Since(start))
@@ -339,6 +359,7 @@ func (e *Engine) Fused(name string, n int, bodies ...func(start, end int)) {
 			}
 			wg.Wait()
 			wgPool.Put(wg)
+			e.putPool()
 		}
 	}
 	e.account(name, time.Since(start))
@@ -374,6 +395,7 @@ func (e *Engine) LaunchChunks(name string, n int, body func(chunk, start, end in
 			}
 			wg.Wait()
 			wgPool.Put(wg)
+			e.putPool()
 		}
 	}
 	e.account(name, time.Since(start))
@@ -407,7 +429,11 @@ func (e *Engine) ParallelReduce(name string, n int, init float64,
 		if p == nil {
 			result = combine(result, body(0, n))
 		} else {
-			partials := e.Alloc(e.workers)
+			// Partial slots are padded to cache-line stride: adjacent
+			// float64 slots written by different workers would share a
+			// cache line and ping-pong it between cores (false sharing;
+			// see BenchmarkReducePartials* in pool_test.go for the delta).
+			partials := e.Alloc(e.workers * reduceStride)
 			used := 0
 			wg := wgPool.Get().(*sync.WaitGroup)
 			for w := 0; w < e.workers; w++ {
@@ -417,12 +443,13 @@ func (e *Engine) ParallelReduce(name string, n int, init float64,
 				}
 				wg.Add(1)
 				used++
-				p.tasks <- task{bodyReduce: body, out: &partials[w], lo: lo, hi: hi, wg: wg}
+				p.tasks <- task{bodyReduce: body, out: &partials[w*reduceStride], lo: lo, hi: hi, wg: wg}
 			}
 			wg.Wait()
 			wgPool.Put(wg)
+			e.putPool()
 			for w := 0; w < used; w++ {
-				result = combine(result, partials[w])
+				result = combine(result, partials[w*reduceStride])
 			}
 			e.Free(partials)
 		}

@@ -313,6 +313,34 @@ func BenchmarkLaunchSpawn(b *testing.B) {
 	}
 }
 
+// reducePartialsBench models the ParallelReduce partial-slot write pattern
+// at a given slot stride: each worker accumulates into its own slot of a
+// shared buffer. With stride 1 the four slots share one cache line and the
+// line ping-pongs between cores; with stride 8 (one line per slot — what
+// ParallelReduce now uses) each worker owns its line.
+func reducePartialsBench(b *testing.B, stride int) {
+	const workers = 4
+	slots := make([]float64, workers*stride)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				p := &slots[w*stride]
+				for j := 0; j < 1<<13; j++ {
+					*p += float64(j)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkReducePartialsAdjacent(b *testing.B) { reducePartialsBench(b, 1) }
+func BenchmarkReducePartialsPadded(b *testing.B)   { reducePartialsBench(b, 8) }
+
 func BenchmarkLaunchPoolSerialThreshold(b *testing.B) {
 	// Below minParallel the launch never leaves the calling goroutine.
 	e := New(Options{Workers: 4})
