@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench fuzz-smoke check
 
 all: check
 
@@ -15,6 +15,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Short fuzz pass over the file-format parsers: each target gets a few
+# seconds on top of its seed corpus. Catches parser panics (negative or
+# non-finite geometry, truncated streams) before they ship.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/bookshelf
+	$(GO) test -fuzz=FuzzParseLEF -fuzztime=$(FUZZTIME) ./internal/lefdef
+	$(GO) test -fuzz=FuzzParseDEF -fuzztime=$(FUZZTIME) ./internal/lefdef
 
 # Kernel-substrate and transform microbenchmarks (pool vs goroutine-spawn
 # dispatch, DCT round trips). Allocation columns are the regression signal:

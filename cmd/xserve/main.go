@@ -1,0 +1,381 @@
+// Command xserve is the placement job daemon: an HTTP front end over the
+// internal/serve runtime. Jobs are synthetic contest benchmarks placed by
+// a pool of kernel engines; clients submit, poll, stream per-iteration
+// progress, and cancel over plain HTTP.
+//
+// Endpoints:
+//
+//	POST /jobs              submit a job (JSON body, see jobRequest)
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/events  live progress stream (Server-Sent Events)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /metrics           scheduler + engine + arena counters (text)
+//	GET  /debug/pprof/      Go runtime profiles
+//
+// Example:
+//
+//	xserve -addr :8080 -engines 2 -queue 8 &
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"bench":"adaptec1","scale":0.02,"seed":1}'
+//	curl -N localhost:8080/jobs/1/events
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/placer"
+	"xplace/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		engines  = flag.Int("engines", 2, "engine pool size (max concurrent jobs)")
+		queueCap = flag.Int("queue", 8, "submit queue capacity (full queue rejects)")
+		workers  = flag.Int("workers", 0, "kernel workers per engine (0 = NumCPU)")
+		overhead = flag.Duration("launch-overhead", -1, "simulated kernel-launch cost (-1 = default, 0 = off)")
+		timeout  = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+		history  = flag.Int("history", 512, "per-job progress snapshots retained")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Engines:        *engines,
+		QueueCap:       *queueCap,
+		EngineWorkers:  *workers,
+		LaunchOverhead: *overhead,
+		DefaultTimeout: *timeout,
+		History:        *history,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: newMux(s)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("xserve: listening on %s (%d engines, queue %d)", *addr, *engines, *queueCap)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("xserve: %v — draining", sig)
+	case err := <-errc:
+		log.Printf("xserve: server error: %v", err)
+	}
+
+	// Graceful shutdown: stop HTTP intake, then drain the scheduler (a
+	// second signal, or the 30s budget, cancels the remaining jobs).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("xserve: http shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("xserve: drain cut short: %v", err)
+	}
+	log.Printf("xserve: bye")
+}
+
+// newMux wires the HTTP surface over a scheduler.
+func newMux(s *serve.Scheduler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", handleSubmit(s))
+	mux.HandleFunc("GET /jobs", handleList(s))
+	mux.HandleFunc("GET /jobs/{id}", handleStatus(s))
+	mux.HandleFunc("GET /jobs/{id}/events", handleEvents(s))
+	mux.HandleFunc("POST /jobs/{id}/cancel", handleCancel(s))
+	mux.HandleFunc("GET /metrics", handleMetrics(s))
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// jobRequest is the POST /jobs body. The design is a synthetic contest
+// benchmark (as in `xplace -bench`); mode selects the GP engine.
+type jobRequest struct {
+	Bench   string  `json:"bench"`
+	Scale   float64 `json:"scale,omitempty"`    // default 0.02
+	Seed    int64   `json:"seed,omitempty"`     // default 1
+	Mode    string  `json:"mode,omitempty"`     // xplace | baseline
+	MaxIter int     `json:"max_iter,omitempty"` // GP iteration cap
+	Grid    int     `json:"grid,omitempty"`     // density grid size
+	Timeout string  `json:"timeout,omitempty"`  // e.g. "30s"
+	Label   string  `json:"label,omitempty"`
+}
+
+func (r *jobRequest) toSpec() (serve.Spec, error) {
+	if r.Bench == "" {
+		return serve.Spec{}, errors.New("bench is required")
+	}
+	bspec, ok := benchgen.FindSpec(r.Bench)
+	if !ok {
+		return serve.Spec{}, fmt.Errorf("unknown benchmark %q", r.Bench)
+	}
+	scale := r.Scale
+	if scale == 0 {
+		scale = 0.02
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var opts placer.Options
+	switch r.Mode {
+	case "", "xplace":
+		opts = placer.Defaults()
+	case "baseline":
+		opts = placer.BaselineDefaults()
+	default:
+		return serve.Spec{}, fmt.Errorf("unknown mode %q", r.Mode)
+	}
+	opts.Seed = seed
+	opts.GridSize = r.Grid
+	if r.MaxIter > 0 {
+		opts.Sched.MaxIter = r.MaxIter
+	}
+	var timeout time.Duration
+	if r.Timeout != "" {
+		var err error
+		if timeout, err = time.ParseDuration(r.Timeout); err != nil {
+			return serve.Spec{}, fmt.Errorf("bad timeout: %v", err)
+		}
+	}
+	label := r.Label
+	if label == "" {
+		label = r.Bench
+	}
+	return serve.Spec{
+		Design:  benchgen.Generate(bspec, scale, seed),
+		Options: opts,
+		Timeout: timeout,
+		Label:   label,
+	}, nil
+}
+
+// jobJSON is the wire form of a job status.
+type jobJSON struct {
+	ID        int64            `json:"id"`
+	Label     string           `json:"label"`
+	State     string           `json:"state"`
+	Err       string           `json:"error,omitempty"`
+	Submitted time.Time        `json:"submitted"`
+	Started   *time.Time       `json:"started,omitempty"`
+	Finished  *time.Time       `json:"finished,omitempty"`
+	Progress  *placer.Snapshot `json:"progress,omitempty"`
+	Iters     int              `json:"iterations,omitempty"`
+	HPWL      float64          `json:"hpwl,omitempty"`
+	Overflow  float64          `json:"overflow,omitempty"`
+}
+
+func toJSON(st serve.Status) jobJSON {
+	j := jobJSON{
+		ID:        st.ID,
+		Label:     st.Label,
+		State:     st.State.String(),
+		Err:       st.Err,
+		Submitted: st.Submitted,
+		Iters:     st.Iterations,
+		HPWL:      st.HPWL,
+		Overflow:  st.Overflow,
+	}
+	if !st.Started.IsZero() {
+		t := st.Started
+		j.Started = &t
+	}
+	if !st.Finished.IsZero() {
+		t := st.Finished
+		j.Finished = &t
+	}
+	if st.Progress.Iter > 0 || st.Progress.HPWL > 0 {
+		p := st.Progress
+		j.Progress = &p
+	}
+	return j
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func jobFrom(s *serve.Scheduler, w http.ResponseWriter, r *http.Request) (*serve.Job, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id"))
+		return nil, false
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func handleSubmit(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req jobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := req.toSpec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, serve.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, toJSON(j.Status()))
+	}
+}
+
+func handleList(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		jobs := s.Jobs()
+		out := make([]jobJSON, len(jobs))
+		for i, j := range jobs {
+			out[i] = toJSON(j.Status())
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+func handleStatus(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFrom(s, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, toJSON(j.Status()))
+	}
+}
+
+func handleCancel(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFrom(s, w, r)
+		if !ok {
+			return
+		}
+		s.Cancel(j.ID())
+		writeJSON(w, http.StatusOK, toJSON(j.Status()))
+	}
+}
+
+// handleEvents streams per-iteration snapshots as Server-Sent Events:
+// first the retained history, then live updates until the job finishes or
+// the client goes away.
+func handleEvents(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFrom(s, w, r)
+		if !ok {
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			writeError(w, http.StatusNotImplemented, errors.New("streaming unsupported"))
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.WriteHeader(http.StatusOK)
+
+		// Subscribe before replaying history so no snapshot is missed;
+		// duplicates at the seam are filtered by iteration number.
+		live, unsub := j.Subscribe(64)
+		defer unsub()
+		lastIter := -1
+		emit := func(sn placer.Snapshot) {
+			if sn.Iter <= lastIter {
+				return
+			}
+			lastIter = sn.Iter
+			b, _ := json.Marshal(sn)
+			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", b)
+			fl.Flush()
+		}
+		for _, sn := range j.Snapshots() {
+			emit(sn)
+		}
+		for {
+			select {
+			case sn, ok := <-live:
+				if !ok { // job finished
+					b, _ := json.Marshal(toJSON(j.Status()))
+					fmt.Fprintf(w, "event: done\ndata: %s\n\n", b)
+					fl.Flush()
+					return
+				}
+				emit(sn)
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// handleMetrics exports the scheduler counters and per-engine accounting
+// in the flat `name value` text form scrapers expect.
+func handleMetrics(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c := s.Counters()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "xserve_jobs_submitted %d\n", c.Submitted)
+		fmt.Fprintf(w, "xserve_jobs_rejected %d\n", c.Rejected)
+		fmt.Fprintf(w, "xserve_jobs_succeeded %d\n", c.Succeeded)
+		fmt.Fprintf(w, "xserve_jobs_failed %d\n", c.Failed)
+		fmt.Fprintf(w, "xserve_jobs_canceled %d\n", c.Canceled)
+		fmt.Fprintf(w, "xserve_jobs_timed_out %d\n", c.TimedOut)
+		fmt.Fprintf(w, "xserve_jobs_active %d\n", c.Active)
+		fmt.Fprintf(w, "xserve_jobs_queued %d\n", c.Queued)
+		fmt.Fprintf(w, "xserve_gp_iterations_total %d\n", c.Iterations)
+		fmt.Fprintf(w, "xserve_kernel_launches_total %d\n", c.Launches)
+		for i, es := range s.EngineStatuses() {
+			fmt.Fprintf(w, "xserve_engine_workers{engine=\"%d\"} %d\n", i, es.Workers)
+			fmt.Fprintf(w, "xserve_engine_launches{engine=\"%d\"} %d\n", i, es.Stats.Launches)
+			fmt.Fprintf(w, "xserve_engine_syncs{engine=\"%d\"} %d\n", i, es.Stats.Syncs)
+			fmt.Fprintf(w, "xserve_arena_in_use_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.InUse)
+			fmt.Fprintf(w, "xserve_arena_pooled_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.Pooled)
+			fmt.Fprintf(w, "xserve_arena_peak_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.Peak)
+			fmt.Fprintf(w, "xserve_arena_hits{engine=\"%d\"} %d\n", i, es.Stats.Arena.Hits)
+			fmt.Fprintf(w, "xserve_arena_misses{engine=\"%d\"} %d\n", i, es.Stats.Arena.Misses)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xplace/internal/serve"
+)
+
+func newTestServer(t *testing.T, opts serve.Options) (*httptest.Server, *serve.Scheduler) {
+	t.Helper()
+	s := serve.New(opts)
+	srv := httptest.NewServer(newMux(s))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return srv, s
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp, m
+}
+
+func TestHTTPSubmitStatusEventsMetrics(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Options{Engines: 1, QueueCap: 4, EngineWorkers: 2})
+
+	// Submit a tiny capped job.
+	resp, m := postJSON(t, srv.URL+"/jobs",
+		`{"bench":"fft_1","scale":0.002,"seed":3,"max_iter":30,"label":"smoke"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	id := m["id"].(float64)
+	if m["state"] != "queued" && m["state"] != "running" {
+		t.Fatalf("fresh job state = %v", m["state"])
+	}
+
+	// SSE: read progress events until done.
+	evResp, err := http.Get(srv.URL + "/jobs/1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type = %q", ct)
+	}
+	var progress, done int
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		switch sc.Text() {
+		case "event: progress":
+			progress++
+		case "event: done":
+			done++
+		}
+		if done > 0 {
+			break
+		}
+	}
+	if progress == 0 || done != 1 {
+		t.Fatalf("SSE stream: %d progress, %d done events", progress, done)
+	}
+
+	// Final status over the poll endpoint.
+	stResp, err := http.Get(srv.URL + "/jobs/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	if st["id"].(float64) != id || st["state"] != "succeeded" {
+		t.Fatalf("final status = %v", st)
+	}
+	if st["hpwl"].(float64) <= 0 {
+		t.Fatalf("final HPWL = %v", st["hpwl"])
+	}
+
+	// Metrics endpoint exports the counters.
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	msc := bufio.NewScanner(mResp.Body)
+	for msc.Scan() {
+		sb.WriteString(msc.Text() + "\n")
+	}
+	mResp.Body.Close()
+	body := sb.String()
+	for _, want := range []string{
+		"xserve_jobs_submitted 1",
+		"xserve_jobs_succeeded 1",
+		"xserve_gp_iterations_total 30",
+		`xserve_arena_in_use_bytes{engine="0"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// pprof is mounted.
+	pResp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pResp.Body.Close()
+	if pResp.StatusCode != http.StatusOK {
+		t.Errorf("pprof status = %d", pResp.StatusCode)
+	}
+}
+
+func TestHTTPCancelAndErrors(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Options{Engines: 1, QueueCap: 4, EngineWorkers: 1})
+
+	// Long-running job, cancelled over HTTP.
+	resp, m := postJSON(t, srv.URL+"/jobs",
+		`{"bench":"fft_1","scale":0.01,"seed":1,"max_iter":100000}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		_, st := postJSON(t, srv.URL+"/jobs/1/cancel", "")
+		if st["state"] == "canceled" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, st := postJSON(t, srv.URL+"/jobs/1/cancel", "")
+	if st["state"] != "canceled" {
+		t.Fatalf("state after cancel = %v", st["state"])
+	}
+
+	// Bad requests.
+	if resp, _ := postJSON(t, srv.URL+"/jobs", `{"bench":"no-such-bench"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown bench: status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/jobs", `{"bench":"fft_1","mode":"warp"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mode: status %d", resp.StatusCode)
+	}
+	r404, err := http.Get(srv.URL + "/jobs/999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("missing job: status %d", r404.StatusCode)
+	}
+}

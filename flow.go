@@ -1,6 +1,7 @@
 package xplace
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,6 +46,9 @@ type FlowOptions struct {
 	LaunchOverhead time.Duration
 	// Engine, when non-nil, is used as-is (its accounting is reset).
 	Engine *Engine
+	// Progress, when non-nil, receives a Snapshot after every GP
+	// iteration (overrides Placement.Progress).
+	Progress func(Snapshot)
 }
 
 // FlowResult carries every stage's outcome.
@@ -69,16 +73,29 @@ type FlowResult struct {
 // RunFlow executes the full placement flow on a design. The design's
 // stored positions are untouched; results are returned in the FlowResult.
 func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
+	return RunFlowContext(context.Background(), d, opts)
+}
+
+// RunFlowContext executes the full placement flow under ctx: cancellation
+// is honored between kernel launches during global placement and between
+// the flow stages (GP, legalization, detailed placement, routing). On
+// cancellation the error wraps ctx.Err() and the placer's arena-backed
+// scratch has been returned to the engine.
+func RunFlowContext(ctx context.Context, d *Design, opts FlowOptions) (*FlowResult, error) {
 	e := opts.Engine
 	if e == nil {
 		e = kernel.New(kernel.Options{Workers: opts.Workers, LaunchOverhead: opts.LaunchOverhead})
+	}
+	if opts.Progress != nil {
+		opts.Placement.Progress = opts.Progress
 	}
 	p, err := placer.New(d, e, opts.Placement)
 	if err != nil {
 		return nil, err
 	}
+	defer p.Close()
 	res := &FlowResult{}
-	gp, err := p.Run()
+	gp, err := p.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("xplace: global placement: %w", err)
 	}
@@ -87,6 +104,9 @@ func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
 	res.GPSim = gp.SimTime
 	res.HPWLGP = gp.HPWL
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xplace: legalization: %w", err)
+	}
 	lgStart := time.Now()
 	var lx, ly []float64
 	switch opts.Legalizer {
@@ -104,6 +124,9 @@ func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
 
 	res.FinalX, res.FinalY = lx, ly
 	if !opts.SkipDetail {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xplace: detailed placement: %w", err)
+		}
 		dpStart := time.Now()
 		res.FinalX, res.FinalY = detail.Run(d, lx, ly, opts.Detail)
 		res.DPTime = time.Since(dpStart)
@@ -112,6 +135,9 @@ func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
 	res.Violations = len(legal.Check(d, res.FinalX, res.FinalY))
 
 	if opts.Route != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xplace: routing: %w", err)
+		}
 		res.Route = router.Route(d, res.FinalX, res.FinalY, *opts.Route)
 	}
 	return res, nil

@@ -103,6 +103,18 @@ func (s *lineScanner) next() bool {
 	return false
 }
 
+// finite reports whether every value is a real number — hostile inputs
+// (fuzzed or truncated files) can carry NaN/Inf literals that would
+// poison the design or trip netlist's builder panics downstream.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // keyVal parses "Key : value" headers; ok is false if the line is not of
 // that form.
 func keyVal(line string) (key, val string, ok bool) {
@@ -138,7 +150,7 @@ func Read(name string, f Files) (*netlist.Design, error) {
 		}
 		w, err1 := strconv.ParseFloat(fields[1], 64)
 		h, err2 := strconv.ParseFloat(fields[2], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil || w < 0 || h < 0 || !finite(w, h) {
 			return nil, fmt.Errorf("bookshelf: nodes line %d: bad size", sc.n)
 		}
 		nd := node{w: w, h: h}
@@ -166,7 +178,7 @@ func Read(name string, f Files) (*netlist.Design, error) {
 		}
 		x, err1 := strconv.ParseFloat(fields[1], 64)
 		y, err2 := strconv.ParseFloat(fields[2], 64)
-		if err1 != nil || err2 != nil {
+		if err1 != nil || err2 != nil || !finite(x, y) {
 			return nil, fmt.Errorf("bookshelf: pl line %d: bad position", sc.n)
 		}
 		xs[id], ys[id] = x, y
@@ -237,7 +249,7 @@ func Read(name string, f Files) (*netlist.Design, error) {
 			})
 		}
 	}
-	if region.Empty() {
+	if region.Empty() || !finite(region.Lx, region.Ly, region.Hx, region.Hy) {
 		return nil, errors.New("bookshelf: cannot determine placement region")
 	}
 

@@ -1,0 +1,77 @@
+package bookshelf
+
+import (
+	"strings"
+	"testing"
+)
+
+// Seed corpus: a tiny valid design plus inputs that historically mapped
+// onto builder panics (negative sizes, NaN literals, pins outside nets).
+var fuzzSeeds = [][4]string{
+	{
+		// Valid two-cell design.
+		"UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 1\na 2 2\nb 4 4 terminal\n",
+		"UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n a I : 0 0\n b I : 1 1\n",
+		"UCLA pl 1.0\na 0 0 : N\nb 10 10 : N /FIXED\n",
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 2\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 16\nEnd\n",
+	},
+	{
+		// Negative size: must be a parse error, not an AddCell panic.
+		"a -1 2\n", "NetDegree : 1\n a\n", "a 0 0 : N\n", "",
+	},
+	{
+		// NaN/Inf literals: must be rejected.
+		"a NaN 2\nb 2 Inf\n", "", "a Inf 0 : N\n", "",
+	},
+	{
+		// Pin before any NetDegree header.
+		"a 1 1\n", "a I : 0 0\n", "a 0 0 : N\n", "",
+	},
+	{
+		// Unknown node in pl / nets.
+		"a 1 1\n", "NetDegree : 1\n zz\n", "zz 3 4 : N\n", "",
+	},
+	{
+		// Degenerate: no nodes at all.
+		"", "", "", "",
+	},
+	{
+		// Header games: huge declared counts with no body (no pre-alloc
+		// from headers, so this must not OOM).
+		"NumNodes : 999999999999\n", "NumNets : 999999999999\nNetDegree : 999999999\n", "", "",
+	},
+}
+
+// FuzzRead feeds hostile bookshelf file sets to the parser: any input may
+// be rejected with an error, but none may panic, hang, or blow memory.
+func FuzzRead(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s[0], s[1], s[2], s[3])
+	}
+	f.Fuzz(func(t *testing.T, nodes, nets, pl, scl string) {
+		files := Files{
+			Nodes: strings.NewReader(nodes),
+			Nets:  strings.NewReader(nets),
+			Pl:    strings.NewReader(pl),
+		}
+		if scl != "" {
+			files.Scl = strings.NewReader(scl)
+		}
+		d, err := Read("fuzz", files)
+		if err != nil {
+			return
+		}
+		// Accepted inputs must yield a sealed, self-consistent design.
+		if !d.Finished() {
+			t.Fatal("accepted design is not finished")
+		}
+		if got := d.NetPinStart[d.NumNets()]; got != d.NumPins() {
+			t.Fatalf("CSR pin count %d != NumPins %d", got, d.NumPins())
+		}
+		for c := 0; c < d.NumCells(); c++ {
+			if d.CellW[c] < 0 || d.CellH[c] < 0 {
+				t.Fatalf("accepted cell %d with negative size %gx%g", c, d.CellW[c], d.CellH[c])
+			}
+		}
+	})
+}

@@ -93,11 +93,15 @@ type Launcher interface {
 // ArenaLauncher is a Launcher that also owns a scratch allocator
 // (kernel.Engine satisfies it). Plans draw their long-lived scratch from it
 // when available so the buffers show up in the engine's arena accounting;
-// otherwise they fall back to plain make.
+// otherwise they fall back to plain make. Release returns the scratch when
+// the plan's owner is done (a cancelled placement job must not leave its
+// scratch checked out).
 type ArenaLauncher interface {
 	Launcher
 	Alloc(n int) []float64
 	AllocComplex(n int) []complex128
+	Free(buf []float64)
+	FreeComplex(buf []complex128)
 }
 
 // NewPlan creates a v2 (Makhoul + tiled transpose) transform plan for an
@@ -412,6 +416,45 @@ func (p *Plan) ensureField(L Launcher, w int) {
 		p.tileOutB = append(p.tileOutB, p.allocF(L, colN))
 		p.tileOutC = append(p.tileOutC, p.allocF(L, colN))
 	}
+}
+
+// Release returns every scratch buffer the plan has checked out back to
+// L's arena (when L provides one) and drops the references, so the owning
+// engine's in-use byte count falls back to its pre-plan baseline. Buffers
+// that were allocated by plain make (no arena available at ensure time) are
+// simply dropped for the GC. The plan stays usable: the next transform
+// re-ensures its scratch.
+func (p *Plan) Release(L Launcher) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a, pooled := L.(ArenaLauncher)
+	freeF := func(buf []float64) {
+		if pooled && buf != nil {
+			a.Free(buf)
+		}
+	}
+	freeFs := func(bufs [][]float64) {
+		for _, b := range bufs {
+			freeF(b)
+		}
+	}
+	freeF(p.tmp)
+	freeF(p.tmp2)
+	p.tmp, p.tmp2 = nil, nil
+	if pooled {
+		for _, b := range p.scratch {
+			a.FreeComplex(b)
+		}
+	}
+	p.scratch = nil
+	freeFs(p.rowReal)
+	freeFs(p.tileIn)
+	freeFs(p.tileOut)
+	freeFs(p.tileIn2)
+	freeFs(p.tileOutB)
+	freeFs(p.tileOutC)
+	p.rowReal, p.tileIn, p.tileOut = nil, nil, nil
+	p.tileIn2, p.tileOutB, p.tileOutC = nil, nil, nil
 }
 
 // run executes the two-pass (rows then columns) transform with the

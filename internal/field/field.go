@@ -139,6 +139,13 @@ func NewSystem(grid geom.Grid, e *kernel.Engine) *System {
 	return s
 }
 
+// Release returns the spectral plan's arena-backed scratch to engine e.
+// Call it when the system's owner (a placement job) is done — including on
+// cancellation — so the engine arena's in-use bytes return to their
+// pre-job baseline. The system stays usable; the next solve re-checks the
+// scratch out.
+func (s *System) Release(e *kernel.Engine) { s.plan.Release(e) }
+
 // buildBodies constructs the persistent kernel bodies once. Each reads its
 // parameters from the staged s.* fields at execution time.
 func (s *System) buildBodies() {

@@ -186,13 +186,74 @@ type Engine struct {
 	perOp    map[string]*OpStats
 	curOp    string // op name arena checkouts are attributed to
 	trace    []string
-	deferred []deferredSync
-	spare    []deferredSync // recycled backing array for deferred
+
+	// defq is the engine's built-in deferred-sync queue, backing the
+	// DeferSync/Flush convenience methods. Concurrent placement loops
+	// sharing one engine must each own a private queue (NewSyncQueue)
+	// instead, so one loop's flush never executes another loop's deferred
+	// operations.
+	defq SyncQueue
 }
 
 type deferredSync struct {
 	name string
 	fn   func()
+}
+
+// SyncQueue is one caller's stream of deferred host-device synchronization
+// operations (the §3.1.3 sync reordering). The engine-level DeferSync/Flush
+// pair operates on a single shared queue, which is fine for one placement
+// loop per engine; when several loops share an engine, each must flush only
+// its own deferrals — a shared queue would hand loop A's record closure to
+// loop B's flush, racing on A's staged state. Obtain a private queue with
+// Engine.NewSyncQueue.
+type SyncQueue struct {
+	e        *Engine
+	mu       sync.Mutex
+	deferred []deferredSync
+	spare    []deferredSync // recycled backing array for deferred
+}
+
+// NewSyncQueue returns a private deferred-sync queue on this engine.
+func (e *Engine) NewSyncQueue() *SyncQueue { return &SyncQueue{e: e} }
+
+// Defer enqueues a sync-needing operation on this queue.
+func (q *SyncQueue) Defer(name string, fn func()) {
+	q.mu.Lock()
+	q.deferred = append(q.deferred, deferredSync{name, fn})
+	q.mu.Unlock()
+}
+
+// Flush runs this queue's deferred operations in FIFO order as one sync
+// point and clears the queue. The backing array is recycled, so the
+// defer/flush cycle is allocation-free in steady state. Flushing an empty
+// queue is a no-op (no sync is charged).
+func (q *SyncQueue) Flush() {
+	q.mu.Lock()
+	if len(q.deferred) == 0 {
+		q.mu.Unlock()
+		return
+	}
+	pending := q.deferred
+	q.deferred = q.spare[:0] // double-buffer: reuse the previous flush's array
+	q.mu.Unlock()
+	for _, d := range pending {
+		start := time.Now()
+		q.e.begin(d.name)
+		d.fn()
+		q.e.account(d.name, time.Since(start))
+	}
+	q.mu.Lock()
+	q.spare = pending[:0]
+	q.mu.Unlock()
+	q.e.Sync()
+}
+
+// reset discards pending deferrals and the recycled backing arrays.
+func (q *SyncQueue) reset() {
+	q.mu.Lock()
+	q.deferred, q.spare = nil, nil
+	q.mu.Unlock()
 }
 
 // New returns an Engine with the given options. Workers are not spawned
@@ -213,6 +274,7 @@ func New(opts Options) *Engine {
 		tracing:  opts.Trace,
 		perOp:    make(map[string]*OpStats),
 	}
+	e.defq.e = e
 	runtime.SetFinalizer(e, (*Engine).Close)
 	return e
 }
@@ -506,38 +568,17 @@ func (e *Engine) begin(name string) {
 }
 
 // DeferSync enqueues an operation that requires host-device
-// synchronization (e.g. copying a scalar metric back to the host). The
-// paper reorders such operators to the end of each GP iteration; Flush
-// executes them in FIFO order.
-func (e *Engine) DeferSync(name string, fn func()) {
-	e.mu.Lock()
-	e.deferred = append(e.deferred, deferredSync{name, fn})
-	e.mu.Unlock()
-}
+// synchronization (e.g. copying a scalar metric back to the host) on the
+// engine's default queue. The paper reorders such operators to the end of
+// each GP iteration; Flush executes them in FIFO order. Callers sharing
+// the engine with other loops should use a private queue (NewSyncQueue).
+func (e *Engine) DeferSync(name string, fn func()) { e.defq.Defer(name, fn) }
 
-// Flush runs all deferred synchronization operations (one sync point for
-// the whole batch) and clears the queue. The queue's backing array is
-// recycled, so the defer/flush cycle is allocation-free in steady state.
-func (e *Engine) Flush() {
-	e.mu.Lock()
-	if len(e.deferred) == 0 {
-		e.mu.Unlock()
-		return
-	}
-	pending := e.deferred
-	e.deferred = e.spare[:0] // double-buffer: reuse the previous flush's array
-	e.mu.Unlock()
-	for _, d := range pending {
-		start := time.Now()
-		e.begin(d.name)
-		d.fn()
-		e.account(d.name, time.Since(start))
-	}
-	e.mu.Lock()
-	e.syncs++
-	e.spare = pending[:0]
-	e.mu.Unlock()
-}
+// Flush runs the default queue's deferred synchronization operations (one
+// sync point for the whole batch) and clears the queue. The queue's backing
+// array is recycled, so the defer/flush cycle is allocation-free in steady
+// state.
+func (e *Engine) Flush() { e.defq.Flush() }
 
 // Sync records an immediate host-device synchronization point (the
 // un-reordered path used by the baseline).
@@ -612,8 +653,7 @@ func (e *Engine) Reset() {
 	e.perOp = make(map[string]*OpStats)
 	e.curOp = ""
 	e.trace = nil
-	e.deferred = nil
-	e.spare = nil
 	e.mu.Unlock()
+	e.defq.reset()
 	e.arena.resetCounters()
 }

@@ -1,0 +1,90 @@
+package lefdef
+
+import (
+	"strings"
+	"testing"
+)
+
+const seedLEF = `MACRO INV
+  SIZE 2 BY 4 ;
+  PIN A
+    PORT
+      RECT 0.1 0.1 0.3 0.3 ;
+    END
+  END A
+  PIN Z
+    PORT
+      RECT 1.7 3.7 1.9 3.9 ;
+    END
+  END Z
+END INV
+`
+
+const seedDEF = `VERSION 5.8 ;
+DESIGN top ;
+DIEAREA ( 0 0 ) ( 100 100 ) ;
+ROW r0 core 0 0 N DO 50 BY 1 STEP 2 0 ;
+COMPONENTS 2 ;
+- u1 INV + PLACED ( 10 10 ) N ;
+- u2 INV + FIXED ( 50 50 ) N ;
+END COMPONENTS
+PINS 1 ;
+- io1 + NET n1 + PLACED ( 0 50 ) N ;
+END PINS
+NETS 1 ;
+- n1 ( u1 Z ) ( u2 A ) ( PIN io1 ) ;
+END NETS
+END DESIGN
+`
+
+// FuzzParseLEF feeds hostile LEF streams to the parser: errors are fine,
+// panics and runaway allocation are not.
+func FuzzParseLEF(f *testing.F) {
+	f.Add(seedLEF)
+	f.Add("MACRO M\n SIZE -1 BY 2 ;\nEND M\n")    // negative size
+	f.Add("MACRO M\n SIZE NaN BY Inf ;\nEND M\n") // non-finite size
+	f.Add("MACRO M\n PIN A\n RECT 0 0\n")         // truncated mid-pin
+	f.Add("MACRO")                                // truncated mid-header
+	f.Add("")
+	f.Fuzz(func(t *testing.T, lef string) {
+		lib, err := ParseLEF(strings.NewReader(lef))
+		if err != nil {
+			return
+		}
+		for name, m := range lib.Macros {
+			if m.W < 0 || m.H < 0 {
+				t.Fatalf("accepted macro %q with negative size %gx%g", name, m.W, m.H)
+			}
+		}
+	})
+}
+
+// FuzzParseDEF fuzzes the LEF+DEF pair jointly so the DEF half can
+// exercise macro lookups against whatever library the LEF half produced.
+func FuzzParseDEF(f *testing.F) {
+	f.Add(seedLEF, seedDEF)
+	f.Add(seedLEF, "DIEAREA ( 0 0 ) ( Inf Inf ) ;\n")                        // non-finite region
+	f.Add(seedLEF, "DESIGN d ;\nDIEAREA ( 5 5 ) ( 1 1 ) ;\n")                // inverted region
+	f.Add(seedLEF, "DIEAREA ( 0 0 ) ( 9 9 ) ;\nCOMPONENTS 1 ;\n- u1 NOPE ;") // unknown macro
+	f.Add(seedLEF, "DIEAREA ( 0 0 ) ( 9 9 ) ;\nNETS 1 ;\n- n ( u9 A ) ;")    // unknown component
+	f.Add("MACRO M\n SIZE 1 BY 1 ;\nEND M\n", "REGIONS 1 ;\nEND REGIONS")    // skipped section at EOF
+	f.Fuzz(func(t *testing.T, lef, def string) {
+		lib, err := ParseLEF(strings.NewReader(lef))
+		if err != nil {
+			return
+		}
+		d, err := ParseDEF(strings.NewReader(def), lib)
+		if err != nil {
+			return
+		}
+		if !d.Finished() {
+			t.Fatal("accepted design is not finished")
+		}
+		if d.Region.Empty() {
+			t.Fatal("accepted design with empty region")
+		}
+		if got := d.NetPinStart[d.NumNets()]; got != d.NumPins() {
+			t.Fatalf("CSR pin count %d != NumPins %d", got, d.NumPins())
+		}
+	})
+}

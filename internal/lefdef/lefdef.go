@@ -14,12 +14,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"xplace/internal/geom"
 	"xplace/internal/netlist"
 )
+
+// finite reports whether every value is a real number; hostile streams
+// can smuggle NaN/Inf literals through ParseFloat.
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
 
 // PinDef is a macro pin with its offset from the MACRO's lower-left
 // corner (the center of its first PORT RECT).
@@ -103,7 +115,7 @@ func ParseLEF(r io.Reader) (*Library, error) {
 				w, err1 := parseFloat(next())
 				by := next()
 				h, err2 := parseFloat(next())
-				if err1 != nil || err2 != nil || by != "BY" {
+				if err1 != nil || err2 != nil || by != "BY" || w < 0 || h < 0 || !finite(w, h) {
 					return nil, fmt.Errorf("lefdef: MACRO %s: bad SIZE", m.Name)
 				}
 				m.W, m.H = w, h
@@ -346,8 +358,8 @@ func ParseDEF(r io.Reader, lib *Library) (*netlist.Design, error) {
 		}
 	}
 
-	if region.Empty() {
-		return nil, errors.New("lefdef: DEF missing DIEAREA")
+	if region.Empty() || !finite(region.Lx, region.Ly, region.Hx, region.Hy) {
+		return nil, errors.New("lefdef: DEF missing or degenerate DIEAREA")
 	}
 	// DEF ROW statements carry no height (it comes from the LEF site
 	// definition); infer it from the row pitch, falling back to the

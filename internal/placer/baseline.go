@@ -17,6 +17,9 @@ import (
 func (p *Placer) iterateBaseline() error {
 	e := p.eng
 	d := p.d
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
 	wallStart := time.Now()
 	simStart := e.SimulatedTime()
 

@@ -18,6 +18,7 @@
 package placer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,6 +119,27 @@ type Options struct {
 	// extension path). Arguments are the lookahead positions and the
 	// gradient accumulators, indexed by cell of the augmented design.
 	ExtraGradient func(iter int, x, y, gx, gy []float64)
+	// Progress, when non-nil, receives a Snapshot after every completed GP
+	// iteration (the job-runtime streaming hook). It is invoked from the
+	// placement loop's goroutine; keep it cheap and do not call back into
+	// the placer from it.
+	Progress func(Snapshot)
+}
+
+// Snapshot is the per-iteration progress record handed to
+// Options.Progress: the host-visible scalars of the iteration that just
+// finished plus the §3.2 placement-stage classification.
+type Snapshot struct {
+	Iter     int
+	HPWL     float64
+	WA       float64
+	Overflow float64
+	Gamma    float64
+	Lambda   float64
+	Omega    float64
+	Stage    string // "early" | "intermediate" | "final" (§3.2)
+	WallTime time.Duration
+	SimTime  time.Duration
 }
 
 // Defaults returns the paper's full Xplace configuration.
@@ -171,6 +193,8 @@ type Placer struct {
 	opt  optim.Optimizer
 	rec  *metrics.Recorder
 	wl   *wirelength.Ops
+	sq  *kernel.SyncQueue // private deferred-sync stream (engine-shareable)
+	ctx context.Context   // active run's context; Background outside a run
 
 	// Gradient buffers (cell-indexed over the augmented design).
 	pinGX, pinGY   []float64
@@ -256,6 +280,8 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 		opts: opts, eng: e, orig: d, d: aug,
 		sys: sys, pre: pre, schd: schd,
 		rec: &metrics.Recorder{},
+		sq:  e.NewSyncQueue(),
+		ctx: context.Background(),
 	}
 	n := aug.NumCells()
 	p.pinGX = make([]float64, aug.NumPins())
@@ -400,9 +426,23 @@ func (p *Placer) Scheduler() *sched.Scheduler { return p.schd }
 
 // Run executes the GP loop to convergence and returns the result mapped
 // back to the original design's cells.
-func (p *Placer) Run() (*Result, error) {
+func (p *Placer) Run() (*Result, error) { return p.RunContext(context.Background()) }
+
+// RunContext executes the GP loop to convergence under ctx. Cancellation
+// is checked between kernel launches (at operator-group boundaries inside
+// each iteration), so a cancelled run stops with no scratch mid-checkout;
+// the returned error is then ctx.Err() (context.Canceled or
+// context.DeadlineExceeded). A cancelled placer remains valid: call Close
+// to return its arena-backed scratch to the engine, or RunContext again to
+// resume iterating from the current state.
+func (p *Placer) RunContext(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	p.eng.Reset()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.ctx = ctx
+	defer func() { p.ctx = context.Background() }()
 	for {
 		if err := p.RunIteration(); err != nil {
 			return nil, err
@@ -429,10 +469,46 @@ func (p *Placer) RunIterations(n int) (*Result, error) {
 
 // RunIteration executes a single GP iteration.
 func (p *Placer) RunIteration() error {
+	var err error
 	if p.opts.Mode == ModeBaseline {
-		return p.iterateBaseline()
+		err = p.iterateBaseline()
+	} else {
+		err = p.iterateXplace()
 	}
-	return p.iterateXplace()
+	if err != nil || p.opts.Progress == nil {
+		return err
+	}
+	p.opts.Progress(p.snapshot())
+	return nil
+}
+
+// snapshot assembles the progress record of the iteration that just
+// finished from the recorder's last entry.
+func (p *Placer) snapshot() Snapshot {
+	rec, _ := p.rec.Last()
+	return Snapshot{
+		Iter:     rec.Iter,
+		HPWL:     rec.HPWL,
+		WA:       rec.WA,
+		Overflow: rec.Overflow,
+		Gamma:    rec.Gamma,
+		Lambda:   rec.Lambda,
+		Omega:    rec.Omega,
+		Stage:    sched.StageName(rec.Omega),
+		WallTime: rec.WallTime,
+		SimTime:  rec.SimTime,
+	}
+}
+
+// Close returns the placer's arena-backed scratch (the spectral plan's
+// buffers) to the engine, dropping the engine arena's in-use bytes back to
+// their pre-placer baseline. Call it when the placer is done — in
+// particular after a cancelled or timed-out run, so pooled engines do not
+// accumulate dead checkouts. Close is idempotent; a closed placer may
+// still be run (the scratch is simply checked out again).
+func (p *Placer) Close() {
+	p.sq.Flush()
+	p.sys.Release(p.eng)
 }
 
 func (p *Placer) finalize(start time.Time) *Result {

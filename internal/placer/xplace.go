@@ -27,6 +27,9 @@ import (
 func (p *Placer) iterateXplace() error {
 	e := p.eng
 	d := p.d
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
 	wallStart := time.Now()
 	simStart := e.SimulatedTime()
 
@@ -47,6 +50,13 @@ func (p *Placer) iterateXplace() error {
 			hpwl = p.wl.HPWL(vx, vy)
 		}
 		p.wl.PinToCell(p.pinGX, p.pinGY, p.wlGX, p.wlGY)
+
+		// Cancellation point between the wirelength and density operator
+		// groups: every kernel so far has completed and no arena scratch is
+		// mid-checkout, so a killed job stops cleanly here.
+		if err := p.ctx.Err(); err != nil {
+			return err
+		}
 
 		// Density operators (possibly skipped, §3.1.4).
 		skip := p.schd.ShouldSkipDensity(p.lastR) && p.iter > 0
@@ -89,6 +99,12 @@ func (p *Placer) iterateXplace() error {
 		}
 	}
 
+	// Second cancellation point: gradient assembled, optimizer step not yet
+	// taken — bailing out here leaves positions at the previous iterate.
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+
 	lambda := p.schd.Lambda
 	fusedPre := p.opts.OperatorReduction && p.opts.OperatorCombination && p.opts.ExtraGradient == nil
 	if !fusedPre {
@@ -107,8 +123,8 @@ func (p *Placer) iterateXplace() error {
 		p.pendingRec = rec
 		p.pendingWall = wallStart
 		p.pendingSim = simStart
-		e.DeferSync("placer.record", p.recordFn)
-		e.Flush()
+		p.sq.Defer("placer.record", p.recordFn)
+		p.sq.Flush()
 	} else {
 		// Immediate per-metric syncs.
 		e.Sync()

@@ -131,6 +131,23 @@ func (s *Scheduler) Iter() int { return s.iter }
 // Omega returns the current placement-stage metric (§3.2).
 func (s *Scheduler) Omega() float64 { return s.omegaOf(s.Lambda) }
 
+// Stage names the current placement stage per the §3.2 classification.
+func (s *Scheduler) Stage() string { return StageName(s.Omega()) }
+
+// StageName classifies the precondition weighted ratio omega into the
+// paper's three placement stages (§3.2): early (omega <= 0.5),
+// intermediate (0.5 < omega < 0.95), final (omega >= 0.95).
+func StageName(omega float64) string {
+	switch {
+	case omega <= 0.5:
+		return "early"
+	case omega < 0.95:
+		return "intermediate"
+	default:
+		return "final"
+	}
+}
+
 func (s *Scheduler) gammaFor(overflow float64) float64 {
 	ov := math.Max(0, math.Min(1, overflow))
 	return s.opts.GammaBase * s.binSize * math.Pow(10, s.opts.GammaK*ov+s.opts.GammaB)

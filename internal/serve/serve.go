@@ -1,0 +1,598 @@
+// Package serve is the placement job runtime: a bounded scheduler that
+// runs many global-placement jobs against a pool of kernel engines — the
+// production shape both DG-RePlAce (batched analytical placement) and
+// RL-guided placement (fleets of rollouts per policy step) assume, where
+// the unit of work is a *fleet* of placements rather than one.
+//
+// Architecture:
+//
+//   - Submit puts a Job on a bounded queue (backpressure: a full queue
+//     rejects with ErrQueueFull instead of blocking the caller).
+//   - A fixed set of workers drains the queue. Each worker owns one
+//     kernel.Engine for its whole life, so N jobs share M engines with no
+//     two jobs ever driving the same engine concurrently — engine state
+//     (worker pool, arena) is reused across jobs, not contended.
+//   - Every job runs under its own context.Context (per-job timeout plus
+//     explicit Cancel); the placer checks it between kernel launches, and
+//     the job's arena-backed scratch is released on every exit path, so a
+//     killed job returns the engine arena to its pre-job in-use baseline.
+//   - Per-iteration progress (iter, HPWL, overflow, lambda, gamma, stage)
+//     is kept in a bounded ring and fanned out to subscribers (the SSE
+//     stream of cmd/xserve).
+//   - Shutdown stops intake, drains queued and running jobs (cancelling
+//     the remainder when its context expires), then tears down the
+//     engines — no goroutines survive it.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+	"xplace/internal/placer"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded queue is at
+	// capacity (backpressure: the caller should retry later or shed load).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining is returned by Submit after Shutdown has begun.
+	ErrDraining = errors.New("serve: scheduler is draining")
+)
+
+// State is a job's lifecycle state.
+type State int32
+
+// Job lifecycle states.
+const (
+	Queued State = iota
+	Running
+	Succeeded
+	Failed
+	Canceled
+	TimedOut
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Succeeded:
+		return "succeeded"
+	case Failed:
+		return "failed"
+	case Canceled:
+		return "canceled"
+	case TimedOut:
+		return "timed-out"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s >= Succeeded }
+
+// Spec describes one placement job.
+type Spec struct {
+	// Design is the finished design to place. The placer clones it before
+	// augmenting, so one design may back many concurrent jobs.
+	Design *netlist.Design
+	// Options configures global placement (Progress is overwritten by the
+	// runtime's own hook).
+	Options placer.Options
+	// Timeout bounds the job's run time (measured from run start, not
+	// submission). 0 falls back to the scheduler's DefaultTimeout.
+	Timeout time.Duration
+	// Label is a free-form tag echoed in Status.
+	Label string
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Engines is the engine-pool size = max concurrently running jobs
+	// (default 2).
+	Engines int
+	// QueueCap bounds the submit queue (default 16). A full queue rejects.
+	QueueCap int
+	// EngineWorkers is the kernel parallelism per engine (0 = NumCPU).
+	// Fleets should divide the machine: Engines*EngineWorkers ~ NumCPU.
+	EngineWorkers int
+	// LaunchOverhead is the simulated kernel-launch cost per engine
+	// (negative = default, 0 = off), as in kernel.Options.
+	LaunchOverhead time.Duration
+	// DefaultTimeout bounds jobs that do not set Spec.Timeout (0 = none).
+	DefaultTimeout time.Duration
+	// History is the per-job progress ring capacity (default 512).
+	History int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engines <= 0 {
+		o.Engines = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+	if o.History <= 0 {
+		o.History = 512
+	}
+	return o
+}
+
+// Job is one placement unit of work. All accessors are safe for concurrent
+// use.
+type Job struct {
+	id    int64
+	label string
+	spec  Spec
+
+	cancel context.CancelFunc // fires the job's base context
+	base   context.Context
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	result    *placer.Result
+	snaps     []placer.Snapshot // progress ring
+	snapStart int               // ring read index
+	snapCount int               // valid entries in ring
+	total     int               // snapshots ever observed
+	subs      map[int]chan placer.Snapshot
+	nextSub   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{} // closed on terminal state
+}
+
+// Status is a point-in-time copy of a job's externally visible state.
+type Status struct {
+	ID        int64
+	Label     string
+	State     State
+	Err       string
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
+	// Progress is the most recent iteration snapshot (zero until the
+	// first iteration completes).
+	Progress placer.Snapshot
+	// Iterations / HPWL / Overflow are filled from the final result once
+	// the job succeeds.
+	Iterations int
+	HPWL       float64
+	Overflow   float64
+}
+
+// ID returns the job id assigned at submission.
+func (j *Job) ID() int64 { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the placement result (nil unless Succeeded) and the
+// job's error, if any.
+func (j *Job) Result() (*placer.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status returns a snapshot of the job's state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		Label:     j.label,
+		State:     j.state,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	if j.snapCount > 0 {
+		st.Progress = j.snaps[(j.snapStart+j.snapCount-1)%len(j.snaps)]
+	}
+	if j.result != nil {
+		st.Iterations = j.result.Iterations
+		st.HPWL = j.result.HPWL
+		st.Overflow = j.result.Overflow
+	}
+	return st
+}
+
+// Snapshots returns the retained progress history in iteration order (the
+// ring keeps the most recent Options.History entries).
+func (j *Job) Snapshots() []placer.Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]placer.Snapshot, j.snapCount)
+	for i := 0; i < j.snapCount; i++ {
+		out[i] = j.snaps[(j.snapStart+i)%len(j.snaps)]
+	}
+	return out
+}
+
+// Subscribe registers a live progress listener with the given channel
+// buffer. Snapshots that arrive while the buffer is full are dropped for
+// that subscriber (a slow SSE client must not stall the placement loop).
+// The channel is closed when the job finishes or unsubscribe is called.
+func (j *Job) Subscribe(buf int) (<-chan placer.Snapshot, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan placer.Snapshot, buf)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Wait blocks until the job finishes or ctx is done, returning the result
+// and job error (or ctx.Err() if ctx wins).
+func (j *Job) Wait(ctx context.Context) (*placer.Result, error) {
+	select {
+	case <-j.done:
+		return j.Result()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// observe appends one progress snapshot to the ring and fans it out.
+func (j *Job) observe(s placer.Snapshot) {
+	j.mu.Lock()
+	if len(j.snaps) > 0 {
+		if j.snapCount < len(j.snaps) {
+			j.snaps[(j.snapStart+j.snapCount)%len(j.snaps)] = s
+			j.snapCount++
+		} else {
+			j.snaps[j.snapStart] = s
+			j.snapStart = (j.snapStart + 1) % len(j.snaps)
+		}
+	}
+	j.total++
+	for _, ch := range j.subs {
+		select {
+		case ch <- s:
+		default: // slow subscriber: drop rather than stall the GP loop
+		}
+	}
+	j.mu.Unlock()
+}
+
+// begin transitions Queued -> Running; ok is false when the job was
+// cancelled while queued.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return false
+	}
+	j.state = Running
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to its terminal state, classifying the error. It
+// reports whether this call performed the transition (false when another
+// goroutine — e.g. Cancel racing the worker — got there first).
+func (j *Job) finish(res *placer.Result, err error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.result, j.err = res, err
+	switch {
+	case err == nil:
+		j.state = Succeeded
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = TimedOut
+	case errors.Is(err, context.Canceled):
+		j.state = Canceled
+	default:
+		j.state = Failed
+	}
+	j.finished = time.Now()
+	for id, ch := range j.subs {
+		delete(j.subs, id)
+		close(ch)
+	}
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// Counters is a snapshot of the scheduler's cumulative accounting.
+type Counters struct {
+	Submitted  int64
+	Rejected   int64
+	Succeeded  int64
+	Failed     int64
+	Canceled   int64
+	TimedOut   int64
+	Active     int64 // currently running jobs
+	Queued     int64 // currently queued jobs
+	Iterations int64 // GP iterations completed across all finished jobs
+	Launches   int64 // kernel launches across all finished jobs
+}
+
+// EngineStatus is one pooled engine's live accounting.
+type EngineStatus struct {
+	Workers int
+	Stats   kernel.Stats
+}
+
+// Scheduler runs placement jobs from a bounded queue over an engine pool.
+type Scheduler struct {
+	opts    Options
+	queue   chan *Job
+	engines []*kernel.Engine
+	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[int64]*Job
+	nextID   int64
+	draining bool
+
+	submitted, rejected       atomic.Int64
+	succeeded, failed         atomic.Int64
+	canceled, timedOut        atomic.Int64
+	active                    atomic.Int64
+	iterations, launchesTotal atomic.Int64
+}
+
+// New starts a scheduler with its engine pool and worker set.
+func New(opts Options) *Scheduler {
+	o := opts.withDefaults()
+	s := &Scheduler{
+		opts:  o,
+		queue: make(chan *Job, o.QueueCap),
+		jobs:  make(map[int64]*Job),
+	}
+	for i := 0; i < o.Engines; i++ {
+		eng := kernel.New(kernel.Options{
+			Workers:        o.EngineWorkers,
+			LaunchOverhead: o.LaunchOverhead,
+		})
+		s.engines = append(s.engines, eng)
+		s.wg.Add(1)
+		go s.worker(eng)
+	}
+	return s
+}
+
+// Submit enqueues a job. It never blocks: a full queue returns
+// ErrQueueFull and a draining scheduler ErrDraining.
+func (s *Scheduler) Submit(spec Spec) (*Job, error) {
+	if spec.Design == nil || !spec.Design.Finished() {
+		return nil, errors.New("serve: spec needs a finished design")
+	}
+	base, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		label:     spec.Label,
+		spec:      spec,
+		base:      base,
+		cancel:    cancel,
+		snaps:     make([]placer.Snapshot, s.opts.History),
+		subs:      make(map[int]chan placer.Snapshot),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.id = s.nextID
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	return j, nil
+}
+
+// Job looks a job up by id.
+func (s *Scheduler) Job(id int64) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job, newest first.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	for i, k := 0, len(out)-1; i < k; i, k = i+1, k-1 {
+		out[i], out[k] = out[k], out[i]
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job finishes immediately as Canceled, a
+// running one aborts at its next between-launch cancellation point.
+// Returns false for unknown ids.
+func (s *Scheduler) Cancel(id int64) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.cancel()
+	// A queued job has no worker to notice the context; finish it here so
+	// Cancel is immediate regardless of queue position. (finish is a no-op
+	// if a worker got there first or the job already ended.)
+	j.mu.Lock()
+	queued := j.state == Queued
+	j.mu.Unlock()
+	if queued {
+		s.jobFinished(j, nil, context.Canceled)
+	}
+	return true
+}
+
+// jobFinished records the terminal transition exactly once and updates the
+// scheduler counters from the job's final state.
+func (s *Scheduler) jobFinished(j *Job, res *placer.Result, err error) {
+	if !j.finish(res, err) {
+		return // another goroutine (Cancel vs worker) won the transition
+	}
+	switch st := j.Status().State; st {
+	case Succeeded:
+		s.succeeded.Add(1)
+	case Failed:
+		s.failed.Add(1)
+	case Canceled:
+		s.canceled.Add(1)
+	case TimedOut:
+		s.timedOut.Add(1)
+	}
+	if res != nil {
+		s.iterations.Add(int64(res.Iterations))
+		s.launchesTotal.Add(res.Stats.Launches)
+	}
+}
+
+// worker owns one engine and drains the queue until Shutdown closes it.
+func (s *Scheduler) worker(eng *kernel.Engine) {
+	defer s.wg.Done()
+	defer eng.Close()
+	for j := range s.queue {
+		s.runJob(eng, j)
+	}
+}
+
+// runJob executes one job on eng under the job's context.
+func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
+	if !j.begin() {
+		return // cancelled while queued
+	}
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	timeout := j.spec.Timeout
+	if timeout == 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	ctx := j.base
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	opts := j.spec.Options
+	opts.Progress = j.observe
+	p, err := placer.New(j.spec.Design, eng, opts)
+	if err != nil {
+		s.jobFinished(j, nil, err)
+		return
+	}
+	// Close on every exit path: a cancelled or timed-out run must return
+	// its arena-backed scratch so the pooled engine's in-use bytes fall
+	// back to the pre-job baseline.
+	defer p.Close()
+	res, err := p.RunContext(ctx)
+	s.jobFinished(j, res, err)
+}
+
+// Shutdown stops intake and drains the scheduler: queued and running jobs
+// are allowed to finish until ctx is done, at which point every remaining
+// job is cancelled. It returns once all workers have exited and the pooled
+// engines are closed; the error is ctx.Err() when the drain was cut short.
+// Shutdown is idempotent (later calls return immediately).
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	close(s.queue) // workers exit after draining remaining jobs
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, j := range s.Jobs() {
+			s.Cancel(j.ID())
+		}
+		<-done // cancellation aborts jobs between launches; workers exit
+	}
+	return err
+}
+
+// Counters returns the cumulative scheduler accounting.
+func (s *Scheduler) Counters() Counters {
+	return Counters{
+		Submitted:  s.submitted.Load(),
+		Rejected:   s.rejected.Load(),
+		Succeeded:  s.succeeded.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+		TimedOut:   s.timedOut.Load(),
+		Active:     s.active.Load(),
+		Queued:     int64(len(s.queue)),
+		Iterations: s.iterations.Load(),
+		Launches:   s.launchesTotal.Load(),
+	}
+}
+
+// EngineStatuses returns each pooled engine's live accounting (the stats
+// window is the engine's current/most recent job, the arena gauges are
+// cumulative).
+func (s *Scheduler) EngineStatuses() []EngineStatus {
+	out := make([]EngineStatus, len(s.engines))
+	for i, e := range s.engines {
+		out[i] = EngineStatus{Workers: e.Workers(), Stats: e.Stats()}
+	}
+	return out
+}

@@ -20,6 +20,7 @@
 package xplace
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -59,6 +60,9 @@ type (
 	PlacementOptions = placer.Options
 	// PlacementResult is a global placement outcome.
 	PlacementResult = placer.Result
+	// Snapshot is a per-iteration progress record (PlacementOptions.Progress
+	// / FlowOptions.Progress callback payload).
+	Snapshot = placer.Snapshot
 	// SchedOptions configures parameter scheduling.
 	SchedOptions = sched.Options
 	// BenchmarkSpec describes a contest design's published statistics.
@@ -122,11 +126,19 @@ func NewPlacer(d *Design, e *Engine, opts PlacementOptions) (*placer.Placer, err
 
 // Place runs global placement to convergence on a default engine.
 func Place(d *Design, opts PlacementOptions) (*PlacementResult, error) {
+	return PlaceContext(context.Background(), d, opts)
+}
+
+// PlaceContext runs global placement to convergence on a default engine,
+// honoring ctx: cancellation and deadlines are checked between kernel
+// launches, and the placer's scratch is released before returning.
+func PlaceContext(ctx context.Context, d *Design, opts PlacementOptions) (*PlacementResult, error) {
 	p, err := placer.New(d, kernel.NewDefault(), opts)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run()
+	defer p.Close()
+	return p.RunContext(ctx)
 }
 
 // GenerateBenchmark synthesizes a contest design by name (Table 1 of the
