@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fuzz-smoke check
+.PHONY: all vet build test race bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -30,5 +30,20 @@ fuzz-smoke:
 # pooled launches and warm transforms must report 0 allocs/op.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/kernel ./internal/dct
+
+# Bench trajectory: the pinned three-config run (DREAMPlace-style baseline,
+# Xplace without operator combination, full Xplace) on adaptec1, written as
+# a machine-readable record. Re-baselining BENCH_5.json is a deliberate
+# act: run this target and commit the diff alongside the change that moved
+# the numbers.
+BENCH_BASELINE ?= BENCH_5.json
+bench-trajectory:
+	$(GO) run ./cmd/xbench -json $(BENCH_BASELINE)
+
+# Bench smoke gate (CI): re-run the trajectory and fail on schema drift,
+# >5% HPWL regression, or any launch-count change at equal iterations
+# against the checked-in baseline.
+bench-smoke:
+	$(GO) run ./cmd/xbench -check $(BENCH_BASELINE)
 
 check: vet build race

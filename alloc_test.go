@@ -40,6 +40,35 @@ func TestSteadyStateIterationAllocFree(t *testing.T) {
 	}
 }
 
+// TestInstrumentedIterationAllocFree: the metrics path is all-atomics, so
+// even with a live registry attached (counters, stage gauges, iteration
+// histogram all updating every iteration) the steady-state GP loop stays
+// off the Go heap. Only an attached tracer may allocate (amortized event
+// appends), which is why tracing is per-run opt-in.
+func TestInstrumentedIterationAllocFree(t *testing.T) {
+	spec, _ := benchgen.FindSpec("adaptec1")
+	d := benchgen.Generate(spec, benchScale, 1)
+	opts := DefaultPlacement()
+	opts.Metrics = NewMetricsRegistry()
+	p, err := placer.New(d, benchEngine(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.RunIteration(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("metrics-instrumented GP iteration allocs = %v, want 0", allocs)
+	}
+}
+
 // TestPoissonSolveAllocFree: the full spectral solve — including the v2
 // batched potential/field evaluation — stays off the Go heap once the
 // plan's arena-backed scratch is warm.

@@ -1,0 +1,63 @@
+package xplace
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"xplace/internal/obs"
+)
+
+// TestCheckedInBenchRecord validates the committed bench-trajectory
+// baseline: it parses under the current schema, carries the three pinned
+// configurations, shows the paper's OC saving (the fused config launches
+// strictly fewer kernels than the unfused one over the same iterations),
+// and survives a write/read round trip unchanged. A schema change that
+// breaks this test must re-baseline BENCH_5.json (make bench-trajectory)
+// in the same commit.
+func TestCheckedInBenchRecord(t *testing.T) {
+	fh, err := os.Open("BENCH_5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	rec, err := obs.ReadBenchRecord(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runs := map[string]BenchRun{}
+	for _, r := range rec.Runs {
+		runs[r.Config] = r
+	}
+	for _, want := range []string{"baseline", "xplace-unfused", "xplace"} {
+		if _, ok := runs[want]; !ok {
+			t.Fatalf("baseline record missing config %q", want)
+		}
+	}
+	fused, unfused := runs["xplace"], runs["xplace-unfused"]
+	if fused.Iterations != unfused.Iterations {
+		t.Fatalf("iteration mismatch: fused %d, unfused %d", fused.Iterations, unfused.Iterations)
+	}
+	if fused.Launches >= unfused.Launches {
+		t.Errorf("operator combination saved nothing: fused %d launches, unfused %d",
+			fused.Launches, unfused.Launches)
+	}
+	if base := runs["baseline"]; base.Launches <= unfused.Launches {
+		t.Errorf("autograd baseline launched %d kernels <= unfused Xplace's %d",
+			base.Launches, unfused.Launches)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteBenchRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	again, err := obs.ReadBenchRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec, again) {
+		t.Error("bench record changed across a write/read round trip")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"xplace/internal/benchgen"
 	"xplace/internal/dct"
 	"xplace/internal/kernel"
+	"xplace/internal/obs"
 	"xplace/internal/placer"
 )
 
@@ -50,6 +51,10 @@ var (
 	substrate = flag.Bool("substrate", false, "report execution-substrate stats (arena, per-op allocs)")
 	spectral  = flag.Bool("spectral", false, "report the spectral-engine ablation (v1 vs v2 transforms)")
 	all       = flag.Bool("all", false, "regenerate every table and figure")
+	jsonOut   = flag.String("json", "", "run the bench trajectory and write its machine-readable record (BENCH_*.json) to this file")
+	checkRec  = flag.String("check", "", "run the bench trajectory and compare it against this baseline record; non-zero exit on regression")
+	checkTol  = flag.Float64("check-tol", 0.05, "HPWL regression tolerance for -check (0.05 = 5%)")
+	benchNote = flag.String("note", "", "free-form note stored in the -json record")
 )
 
 func engine() *kernel.Engine {
@@ -61,6 +66,10 @@ func engine() *kernel.Engine {
 
 func main() {
 	flag.Parse()
+	if *jsonOut != "" || *checkRec != "" {
+		benchTrajectory()
+		return
+	}
 	if !*all && *table == 0 && *figure == "" && !*substrate && !*spectral {
 		flag.Usage()
 		os.Exit(2)
@@ -91,6 +100,136 @@ func main() {
 	}
 	if *all || *spectral {
 		spectralReport()
+	}
+}
+
+// ----------------------------------------------------------- bench trajectory
+
+// Bench-trajectory constants. They are pinned — bench, scale, iteration
+// count and worker count all feed the operator schedule, and the checked-in
+// BENCH_*.json baseline plus the CI bench-smoke lane assume bit-identical
+// runs (same chunk boundaries -> same FP sums -> same OS skip decisions ->
+// same launch counts).
+const (
+	trajBench   = "adaptec1"
+	trajScale   = 0.004
+	trajIters   = 60
+	trajWorkers = 4
+)
+
+// trajConfigs are the three placer configurations the trajectory compares:
+// the DREAMPlace-style autograd baseline, Xplace with operator combination
+// (OC) disabled, and full Xplace. The launch-count gap between the last
+// two is the paper's OC saving (§3.1.1) made machine-checkable.
+func trajConfigs() []struct {
+	name string
+	opts xplace.PlacementOptions
+} {
+	unfused := xplace.DefaultPlacement()
+	unfused.OperatorCombination = false
+	return []struct {
+		name string
+		opts xplace.PlacementOptions
+	}{
+		{"baseline", xplace.BaselinePlacement()},
+		{"xplace-unfused", unfused},
+		{"xplace", xplace.DefaultPlacement()},
+	}
+}
+
+// benchTrajectory runs the pinned three-config trajectory and emits the
+// machine-readable record (-json) and/or gates it against a checked-in
+// baseline (-check): schema validation, HPWL regression beyond -check-tol,
+// and any launch-count drift at equal iterations all fail the run.
+func benchTrajectory() {
+	d, err := xplace.GenerateBenchmark(trajBench, trajScale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+	rec := xplace.BenchRecord{Schema: obs.BenchSchema, Note: *benchNote}
+	for _, c := range trajConfigs() {
+		e := kernel.New(kernel.Options{
+			Workers:        trajWorkers,
+			LaunchOverhead: time.Duration(*launchUS) * time.Microsecond,
+		})
+		opts := c.opts
+		opts.Seed = *seed
+		p, err := placer.New(d, e, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		res, err := p.RunIterations(trajIters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		rec.Runs = append(rec.Runs, xplace.BenchRun{
+			Config:     c.name,
+			Bench:      trajBench,
+			Scale:      trajScale,
+			Seed:       *seed,
+			Workers:    trajWorkers,
+			LaunchUS:   *launchUS,
+			Iterations: res.Iterations,
+			HPWL:       res.HPWL,
+			Overflow:   res.Overflow,
+			WallMS:     float64(res.WallTime.Microseconds()) / 1000,
+			SimMS:      float64(res.SimTime.Microseconds()) / 1000,
+			Launches:   res.Stats.Launches,
+			Syncs:      res.Stats.Syncs,
+			ArenaPeak:  res.Stats.Arena.Peak,
+		})
+		fmt.Printf("%-16s HPWL %.6g  ovfl %.3f  launches %d  sim %.1fms\n",
+			c.name, res.HPWL, res.Overflow, res.Stats.Launches,
+			float64(res.SimTime.Microseconds())/1000)
+		p.Close()
+		e.Close()
+	}
+
+	if fused, ok := rec.Run("xplace"); ok {
+		if unfused, ok := rec.Run("xplace-unfused"); ok && fused.Launches >= unfused.Launches {
+			fmt.Fprintf(os.Stderr, "xbench: OC regression: fused config launched %d kernels, unfused %d — operator combination saved nothing\n",
+				fused.Launches, unfused.Launches)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		fh, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteBenchRecord(fh, rec); err != nil {
+			fh.Close()
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		if err := fh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	if *checkRec != "" {
+		fh, err := os.Open(*checkRec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		baseline, err := obs.ReadBenchRecord(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		if err := obs.CompareBenchRecords(baseline, rec, *checkTol); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: bench-smoke gate failed vs %s:\n%v\n", *checkRec, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench-smoke gate passed vs %s (tol %.0f%%)\n", *checkRec, *checkTol*100)
 	}
 }
 

@@ -3,17 +3,20 @@
 // legalization, detailed placement and optional routability scoring.
 //
 // Input is either a synthetic contest benchmark (-bench, see -list) or a
-// bookshelf .aux file (-aux). The placed result can be written back as a
-// bookshelf .pl (-out).
+// design file (-in, format autodetected: bookshelf .aux or DEF with -lef).
+// The placed result can be written back as a bookshelf .pl (-out).
 //
 // Examples:
 //
 //	xplace -bench adaptec1 -scale 0.02
-//	xplace -aux design.aux -legalizer abacus -out placed.pl
+//	xplace -in design.aux -legalizer abacus -out placed.pl
+//	xplace -in design.def -lef cells.lef
 //	xplace -bench fft_1 -mode baseline -route
+//	xplace -bench adaptec1 -trace out.json   # Chrome about:tracing JSON
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +29,9 @@ func main() {
 		bench     = flag.String("bench", "", "synthetic benchmark name (see -list)")
 		scale     = flag.Float64("scale", 0.02, "benchmark scale factor")
 		seed      = flag.Int64("seed", 1, "generator / placer seed")
-		aux       = flag.String("aux", "", "bookshelf .aux input file")
+		in        = flag.String("in", "", "design input file (bookshelf .aux or DEF; format autodetected)")
+		lef       = flag.String("lef", "", "LEF cell library (required for DEF inputs)")
+		aux       = flag.String("aux", "", "bookshelf .aux input file (deprecated alias of -in)")
 		mode      = flag.String("mode", "xplace", "GP engine: xplace | baseline | xplace-nn")
 		legalizer = flag.String("legalizer", "tetris", "legalizer: tetris | abacus")
 		grid      = flag.Int("grid", 0, "density grid size (power of two, 0 = auto)")
@@ -37,7 +42,8 @@ func main() {
 		model     = flag.String("model", "", "trained FNO model file (for -mode xplace-nn)")
 		out       = flag.String("out", "", "write placed .pl file")
 		svg       = flag.String("svg", "", "write placement SVG image")
-		trace     = flag.Bool("trace", false, "dump per-iteration metrics CSV to stdout")
+		trace     = flag.String("trace", "", "write an operator/kernel trace of the run as Chrome trace_event JSON (load in about:tracing or Perfetto)")
+		csv       = flag.Bool("csv", false, "dump per-iteration metrics CSV to stdout")
 		stats     = flag.Bool("stats", false, "print GP engine stats (launches, arena, per-op allocs)")
 		list      = flag.Bool("list", false, "list available synthetic benchmarks")
 	)
@@ -55,15 +61,22 @@ func main() {
 		return
 	}
 
+	if *in == "" {
+		*in = *aux
+	}
 	var d *xplace.Design
 	var err error
 	switch {
-	case *aux != "":
-		d, err = xplace.ReadBookshelf(*aux)
+	case *in != "":
+		var lopts []xplace.LoadOption
+		if *lef != "" {
+			lopts = append(lopts, xplace.WithLEF(*lef))
+		}
+		d, err = xplace.Load(*in, lopts...)
 	case *bench != "":
 		d, err = xplace.GenerateBenchmark(*bench, *scale, *seed)
 	default:
-		fmt.Fprintln(os.Stderr, "xplace: need -bench or -aux (see -h)")
+		fmt.Fprintln(os.Stderr, "xplace: need -bench or -in (see -h)")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -75,8 +88,16 @@ func main() {
 		st.Name, st.Cells, st.Movable, st.Fixed, st.Nets, st.Pins, st.Util)
 
 	eng := xplace.NewEngine(*workers, -1)
+	var tr *xplace.Tracer
+	sopts := []xplace.Option{xplace.WithEngine(eng)}
+	if *trace != "" {
+		tr = xplace.NewTracer()
+		sopts = append(sopts, xplace.WithTracer(tr))
+	}
+	session := xplace.NewSession(sopts...)
+	defer session.Close()
 	defer eng.Close()
-	opts := xplace.FlowOptions{Engine: eng}
+	opts := xplace.FlowOptions{}
 	switch *mode {
 	case "baseline":
 		opts.Placement = xplace.BaselinePlacement()
@@ -114,7 +135,7 @@ func main() {
 		opts.Route = &xplace.RouteOptions{}
 	}
 
-	fr, err := xplace.RunFlow(d, opts)
+	fr, err := session.Flow(context.Background(), d, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "xplace:", err)
 		os.Exit(1)
@@ -132,11 +153,28 @@ func main() {
 	if *stats {
 		fmt.Print("GP engine stats:\n", eng.Stats())
 	}
-	if *trace {
+	if *csv {
 		if err := fr.GP.Recorder.WriteCSV(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "xplace:", err)
 			os.Exit(1)
 		}
+	}
+	if tr != nil {
+		fh, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(fh); err != nil {
+			fh.Close()
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		if err := fh.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d trace events; open in about:tracing or ui.perfetto.dev)\n", *trace, tr.Len())
 	}
 	if *out != "" {
 		if err := xplace.WritePlacementPl(*out, d, fr.FinalX, fr.FinalY); err != nil {

@@ -100,6 +100,7 @@ func newMux(s *serve.Scheduler) *http.ServeMux {
 	mux.HandleFunc("GET /jobs", handleList(s))
 	mux.HandleFunc("GET /jobs/{id}", handleStatus(s))
 	mux.HandleFunc("GET /jobs/{id}/events", handleEvents(s))
+	mux.HandleFunc("GET /jobs/{id}/trace", handleTrace(s))
 	mux.HandleFunc("POST /jobs/{id}/cancel", handleCancel(s))
 	mux.HandleFunc("GET /metrics", handleMetrics(s))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -121,6 +122,7 @@ type jobRequest struct {
 	Grid    int     `json:"grid,omitempty"`     // density grid size
 	Timeout string  `json:"timeout,omitempty"`  // e.g. "30s"
 	Label   string  `json:"label,omitempty"`
+	Trace   bool    `json:"trace,omitempty"` // record a per-job operator trace
 }
 
 func (r *jobRequest) toSpec() (serve.Spec, error) {
@@ -169,6 +171,7 @@ func (r *jobRequest) toSpec() (serve.Spec, error) {
 		Options: opts,
 		Timeout: timeout,
 		Label:   label,
+		Trace:   r.Trace,
 	}, nil
 }
 
@@ -351,31 +354,35 @@ func handleEvents(s *serve.Scheduler) http.HandlerFunc {
 	}
 }
 
-// handleMetrics exports the scheduler counters and per-engine accounting
-// in the flat `name value` text form scrapers expect.
+// handleMetrics scrapes the scheduler's registry in the Prometheus text
+// exposition format. The scheduler, its engines and every job's placer all
+// publish into the same registry, so this one endpoint covers the
+// xserve_* runtime series and the xplace_* paper-optimization series; the
+// scrape touches only the registry mutex and instrument atomics, never a
+// job lock.
 func handleMetrics(s *serve.Scheduler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		c := s.Counters()
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "xserve_jobs_submitted %d\n", c.Submitted)
-		fmt.Fprintf(w, "xserve_jobs_rejected %d\n", c.Rejected)
-		fmt.Fprintf(w, "xserve_jobs_succeeded %d\n", c.Succeeded)
-		fmt.Fprintf(w, "xserve_jobs_failed %d\n", c.Failed)
-		fmt.Fprintf(w, "xserve_jobs_canceled %d\n", c.Canceled)
-		fmt.Fprintf(w, "xserve_jobs_timed_out %d\n", c.TimedOut)
-		fmt.Fprintf(w, "xserve_jobs_active %d\n", c.Active)
-		fmt.Fprintf(w, "xserve_jobs_queued %d\n", c.Queued)
-		fmt.Fprintf(w, "xserve_gp_iterations_total %d\n", c.Iterations)
-		fmt.Fprintf(w, "xserve_kernel_launches_total %d\n", c.Launches)
-		for i, es := range s.EngineStatuses() {
-			fmt.Fprintf(w, "xserve_engine_workers{engine=\"%d\"} %d\n", i, es.Workers)
-			fmt.Fprintf(w, "xserve_engine_launches{engine=\"%d\"} %d\n", i, es.Stats.Launches)
-			fmt.Fprintf(w, "xserve_engine_syncs{engine=\"%d\"} %d\n", i, es.Stats.Syncs)
-			fmt.Fprintf(w, "xserve_arena_in_use_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.InUse)
-			fmt.Fprintf(w, "xserve_arena_pooled_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.Pooled)
-			fmt.Fprintf(w, "xserve_arena_peak_bytes{engine=\"%d\"} %d\n", i, es.Stats.Arena.Peak)
-			fmt.Fprintf(w, "xserve_arena_hits{engine=\"%d\"} %d\n", i, es.Stats.Arena.Hits)
-			fmt.Fprintf(w, "xserve_arena_misses{engine=\"%d\"} %d\n", i, es.Stats.Arena.Misses)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.Registry().WritePrometheus(w)
+	}
+}
+
+// handleTrace serves a job's operator trace as Chrome trace_event JSON
+// (load it at chrome://tracing or ui.perfetto.dev). 404 unless the job was
+// submitted with "trace": true and has started.
+func handleTrace(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := jobFrom(s, w, r)
+		if !ok {
+			return
 		}
+		t := j.Tracer()
+		if t == nil {
+			writeError(w, http.StatusNotFound,
+				fmt.Errorf("job %d has no trace (submit with \"trace\": true)", j.ID()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeTrace(w)
 	}
 }

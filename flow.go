@@ -2,14 +2,10 @@ package xplace
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"xplace/internal/detail"
-	"xplace/internal/kernel"
 	"xplace/internal/legal"
-	"xplace/internal/placer"
-	"xplace/internal/router"
 )
 
 // LegalizerKind selects the legalization algorithm.
@@ -81,66 +77,22 @@ func RunFlow(d *Design, opts FlowOptions) (*FlowResult, error) {
 // the flow stages (GP, legalization, detailed placement, routing). On
 // cancellation the error wraps ctx.Err() and the placer's arena-backed
 // scratch has been returned to the engine.
+//
+// It is a thin wrapper over Session.Flow: a temporary Session is built
+// from FlowOptions (Engine when set, else a fresh engine from
+// Workers/LaunchOverhead) and closed before returning, so an engine this
+// call creates is always released; an engine supplied via opts.Engine is
+// used as-is and never closed.
 func RunFlowContext(ctx context.Context, d *Design, opts FlowOptions) (*FlowResult, error) {
-	e := opts.Engine
-	if e == nil {
-		e = kernel.New(kernel.Options{Workers: opts.Workers, LaunchOverhead: opts.LaunchOverhead})
+	var sopts []Option
+	if opts.Engine != nil {
+		sopts = append(sopts, WithEngine(opts.Engine))
+	} else {
+		sopts = append(sopts, WithEngineOptions(opts.Workers, opts.LaunchOverhead))
 	}
-	if opts.Progress != nil {
-		opts.Placement.Progress = opts.Progress
-	}
-	p, err := placer.New(d, e, opts.Placement)
-	if err != nil {
-		return nil, err
-	}
-	defer p.Close()
-	res := &FlowResult{}
-	gp, err := p.RunContext(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("xplace: global placement: %w", err)
-	}
-	res.GP = gp
-	res.GPTime = gp.WallTime
-	res.GPSim = gp.SimTime
-	res.HPWLGP = gp.HPWL
-
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("xplace: legalization: %w", err)
-	}
-	lgStart := time.Now()
-	var lx, ly []float64
-	switch opts.Legalizer {
-	case LegalizeAbacus:
-		lx, ly, err = legal.Abacus(d, gp.X, gp.Y)
-	default:
-		lx, ly, err = legal.Tetris(d, gp.X, gp.Y)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("xplace: legalization: %w", err)
-	}
-	res.LGTime = time.Since(lgStart)
-	res.LegalX, res.LegalY = lx, ly
-	res.HPWLLegal = d.HPWL(lx, ly)
-
-	res.FinalX, res.FinalY = lx, ly
-	if !opts.SkipDetail {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("xplace: detailed placement: %w", err)
-		}
-		dpStart := time.Now()
-		res.FinalX, res.FinalY = detail.Run(d, lx, ly, opts.Detail)
-		res.DPTime = time.Since(dpStart)
-	}
-	res.HPWLFinal = d.HPWL(res.FinalX, res.FinalY)
-	res.Violations = len(legal.Check(d, res.FinalX, res.FinalY))
-
-	if opts.Route != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("xplace: routing: %w", err)
-		}
-		res.Route = router.Route(d, res.FinalX, res.FinalY, *opts.Route)
-	}
-	return res, nil
+	s := NewSession(sopts...)
+	defer s.Close()
+	return s.Flow(ctx, d, opts)
 }
 
 // Legalize runs just the legalization stage.

@@ -40,6 +40,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"xplace/internal/obs"
 )
 
 // DefaultLaunchOverhead is the simulated cost of one kernel launch. 6 us is
@@ -186,6 +188,7 @@ type Engine struct {
 	perOp    map[string]*OpStats
 	curOp    string // op name arena checkouts are attributed to
 	trace    []string
+	tracer   *obs.Tracer // span tracer; nil when tracing is off
 
 	// defq is the engine's built-in deferred-sync queue, backing the
 	// DeferSync/Flush convenience methods. Concurrent placement loops
@@ -241,7 +244,7 @@ func (q *SyncQueue) Flush() {
 		start := time.Now()
 		q.e.begin(d.name)
 		d.fn()
-		q.e.account(d.name, time.Since(start))
+		q.e.account(d.name, start, time.Since(start))
 	}
 	q.mu.Lock()
 	q.spare = pending[:0]
@@ -290,6 +293,15 @@ func (e *Engine) Workers() int { return e.workers }
 
 // LaunchOverhead returns the simulated per-launch cost.
 func (e *Engine) LaunchOverhead() time.Duration { return e.overhead }
+
+// Closed reports whether Close has run: the worker pool is gone and any
+// further launches execute serially on the calling goroutine. Used by
+// engine-ownership tests (a Session closes only engines it created).
+func (e *Engine) Closed() bool {
+	e.poolMu.Lock()
+	defer e.poolMu.Unlock()
+	return e.closed
+}
 
 // getPool returns the worker pool, spawning it on first use, and registers
 // the calling launch as in-flight; the caller must pair a non-nil return
@@ -388,7 +400,7 @@ func (e *Engine) Launch(name string, n int, body func(start, end int)) {
 			e.putPool()
 		}
 	}
-	e.account(name, time.Since(start))
+	e.account(name, start, time.Since(start))
 }
 
 // Fused runs several bodies over [0, n) as ONE accounted kernel launch:
@@ -424,7 +436,7 @@ func (e *Engine) Fused(name string, n int, bodies ...func(start, end int)) {
 			e.putPool()
 		}
 	}
-	e.account(name, time.Since(start))
+	e.account(name, start, time.Since(start))
 }
 
 // LaunchChunks runs body over [0, n) as one kernel, passing each worker its
@@ -460,7 +472,7 @@ func (e *Engine) LaunchChunks(name string, n int, body func(chunk, start, end in
 			e.putPool()
 		}
 	}
-	e.account(name, time.Since(start))
+	e.account(name, start, time.Since(start))
 	return used
 }
 
@@ -471,7 +483,7 @@ func (e *Engine) LaunchSerial(name string, body func()) {
 	start := time.Now()
 	e.begin(name)
 	body()
-	e.account(name, time.Since(start))
+	e.account(name, start, time.Since(start))
 }
 
 // ParallelReduce runs body over [0, n) with one private accumulator per
@@ -516,7 +528,7 @@ func (e *Engine) ParallelReduce(name string, n int, init float64,
 			e.Free(partials)
 		}
 	}
-	e.account(name, time.Since(start))
+	e.account(name, start, time.Since(start))
 	return result
 }
 
@@ -588,8 +600,22 @@ func (e *Engine) Sync() {
 	e.mu.Unlock()
 }
 
-func (e *Engine) account(name string, d time.Duration) {
+// SetTracer attaches (or, with nil, detaches) a span tracer: every
+// subsequent launch is recorded with its wall start/duration and its
+// position on the simulated clock. The engine does not own the tracer —
+// callers attach one per traced window (e.g. one per serve job) and
+// export it themselves.
+func (e *Engine) SetTracer(t *obs.Tracer) {
 	e.mu.Lock()
+	e.tracer = t
+	e.mu.Unlock()
+}
+
+func (e *Engine) account(name string, start time.Time, d time.Duration) {
+	e.mu.Lock()
+	// The launch's position on the simulated clock is the clock value
+	// before this launch's own cost is added.
+	simTS := e.compute + time.Duration(e.launches)*e.overhead
 	e.launches++
 	e.compute += d
 	e.curOp = ""
@@ -603,7 +629,9 @@ func (e *Engine) account(name string, d time.Duration) {
 	if e.tracing {
 		e.trace = append(e.trace, name)
 	}
+	tr := e.tracer
 	e.mu.Unlock()
+	tr.Kernel(name, start, d, simTS, d+e.overhead)
 }
 
 // SimulatedTime returns the simulated clock (compute plus launch cost)

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 series. All methods are
+// nil-safe and lock-free (one atomic add per increment), so counters may
+// sit on the GP hot path without allocating.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 series (atomic float bits; nil-safe).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus
+// semantics: Buckets are upper bounds, counts are cumulative at
+// exposition, +Inf is implicit). Observe is lock-free and nil-safe.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds
+	counts []atomic.Int64 // one per bound, +1 for +Inf
+	sum    Gauge
+	count  atomic.Int64
+}
+
+// DefaultDurationBuckets covers per-iteration placement times (seconds).
+var DefaultDurationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (tens); linear scan beats binary search at this size.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples observed (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// series is one registered instrument (a full name, possibly labeled).
+type series struct {
+	family string // name before any '{' — the # HELP / # TYPE unit
+	name   string // full series name including labels
+	help   string
+	kind   string
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// Registry is a typed metrics registry with Prometheus text exposition.
+// Registration is idempotent per full series name: asking for an existing
+// name returns the existing instrument (so several subsystems can share
+// one registry without coordination). A nil *Registry is the disabled
+// registry: every constructor returns nil, and nil instruments no-op.
+//
+// Series names may carry a Prometheus label suffix, e.g.
+// `engine_launches{engine="0"}`; exposition groups series of one family
+// under a single # HELP / # TYPE header.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // registration order for stable exposition
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{series: make(map[string]*series)} }
+
+// registerLocked finds or creates a series; r.mu must be held, and any
+// lazy instrument assignment on the returned series must happen before
+// the lock is released (scrapes copy series values under the same lock).
+func (r *Registry) registerLocked(name, help, kind string) *series {
+	if s, ok := r.series[name]; ok {
+		if s.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, s.kind))
+		}
+		return s
+	}
+	s := &series{family: familyOf(name), name: name, help: help, kind: kind}
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter returns (registering if needed) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.registerLocked(name, help, kindCounter)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (registering if needed) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.registerLocked(name, help, kindGauge)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time (for mirroring external accounting — engine stats, queue depths —
+// without double bookkeeping). Re-registering replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.registerLocked(name, help, kindGauge)
+	s.fn = fn
+}
+
+// Histogram returns (registering if needed) the named histogram with the
+// given bucket upper bounds (sorted copies; nil selects
+// DefaultDurationBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.registerLocked(name, help, kindHist)
+	if s.h == nil {
+		if buckets == nil {
+			buckets = DefaultDurationBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		s.h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds))}
+	}
+	return s.h
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Series appear in registration
+// order; families emit one # HELP / # TYPE header at first occurrence.
+// Scraping touches only the registry mutex and instrument atomics —
+// never caller locks — so a scrape can never stall a placement job.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Copy series values (instrument pointers) under the lock: a
+	// concurrent GaugeFunc re-registration may replace s.fn, and lazily
+	// created instruments are only published inside this critical section.
+	r.mu.Lock()
+	ordered := make([]series, len(r.order))
+	for i, name := range r.order {
+		ordered[i] = *r.series[name]
+	}
+	r.mu.Unlock()
+
+	seen := make(map[string]bool, len(ordered))
+	for i := range ordered {
+		s := &ordered[i]
+		if !seen[s.family] {
+			seen[s.family] = true
+			if s.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.family, s.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.family, s.kind); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case s.kind == kindHist:
+			err = writeHistogram(w, s)
+		case s.fn != nil:
+			err = writeSample(w, s.name, s.fn())
+		case s.c != nil:
+			_, err = fmt.Fprintf(w, "%s %d\n", s.name, s.c.Value())
+		case s.g != nil:
+			err = writeSample(w, s.name, s.g.Value())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name string, v float64) error {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, int64(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %g\n", name, v)
+	return err
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum/_count,
+// preserving any labels the series was registered with.
+func writeHistogram(w io.Writer, s *series) error {
+	base, labels, suffix := s.name, "", ""
+	if i := strings.IndexByte(s.name, '{'); i >= 0 {
+		base = s.name[:i]
+		labels = strings.TrimSuffix(s.name[i+1:], "}") + ","
+		suffix = "{" + strings.TrimSuffix(s.name[i+1:], "}") + "}"
+	}
+	var cum int64
+	for i, ub := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", base, labels, ub, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, s.h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", base, suffix, s.h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, s.h.Count())
+	return err
+}

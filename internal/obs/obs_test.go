@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --------------------------------------------------------------- tracer
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	// Every recording method must be a no-op, not a panic.
+	tr.Kernel("k", time.Now(), time.Millisecond, 0, 0)
+	tr.Span("s", CatGroup, time.Now(), time.Millisecond, 0, 0, 3)
+	tr.Instant("i", CatKernel, time.Now())
+	tr.Counter("c", time.Now(), 1, 4.2)
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	if n := len(tr.KernelLaunchCounts()); n != 0 {
+		t.Fatalf("nil tracer launch counts = %d entries", n)
+	}
+}
+
+func TestTracerRecordsAndCounts(t *testing.T) {
+	tr := NewTracer()
+	base := tr.Epoch()
+	for i := 0; i < 3; i++ {
+		tr.Kernel("wl.fused", base.Add(time.Duration(i)*time.Millisecond), 100*time.Microsecond,
+			time.Duration(i)*time.Millisecond, 106*time.Microsecond)
+	}
+	tr.Kernel("density.cells", base, 50*time.Microsecond, 0, 56*time.Microsecond)
+	tr.Span("op.wirelength", CatGroup, base, time.Millisecond, 0, time.Millisecond, 0)
+	tr.Counter("overflow", base, 0, 0.9)
+
+	counts := tr.KernelLaunchCounts()
+	if counts["wl.fused"] != 3 || counts["density.cells"] != 1 {
+		t.Fatalf("launch counts = %v", counts)
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("total launches = %d, want 4", total)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("events = %d, want 6", tr.Len())
+	}
+}
+
+func TestTracerConcurrentRecording(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Kernel("k", time.Now(), time.Microsecond, 0, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.KernelLaunchCounts()["k"]; got != 800 {
+		t.Fatalf("concurrent launches recorded = %d, want 800", got)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	base := tr.Epoch()
+	tr.Kernel("wl.fused", base.Add(time.Millisecond), 200*time.Microsecond, time.Millisecond, 206*time.Microsecond)
+	tr.Span("op.density", CatGroup, base, 2*time.Millisecond, 0, 2*time.Millisecond, 7)
+	tr.Span("legalize", CatFlow, base, time.Millisecond, 0, 0, -1)
+	tr.Instant("sync", CatKernel, base)
+	tr.Counter("lambda", base, 7, 1e-4)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var kernelsWall, kernelsSim, groups, flows, counters, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			pid := int(ev["pid"].(float64))
+			switch {
+			case ev["cat"] == CatKernel && pid == 1:
+				kernelsWall++
+			case ev["cat"] == CatKernel && pid == 2:
+				kernelsSim++
+			case ev["cat"] == CatGroup:
+				groups++
+				if args := ev["args"].(map[string]any); args["iter"].(float64) != 7 {
+					t.Errorf("group span iter = %v", args["iter"])
+				}
+			case ev["cat"] == CatFlow:
+				flows++
+			}
+		case "C":
+			counters++
+		case "i":
+			instants++
+		}
+	}
+	// Every kernel appears on BOTH clocks (wall pid 1, simulated pid 2).
+	if kernelsWall != 1 || kernelsSim != 1 || groups != 1 || flows != 1 || counters != 1 || instants != 1 {
+		t.Fatalf("event census: wall=%d sim=%d groups=%d flows=%d counters=%d instants=%d",
+			kernelsWall, kernelsSim, groups, flows, counters, instants)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wl.fused") {
+		t.Errorf("summary missing operator name:\n%s", sb.String())
+	}
+}
+
+// -------------------------------------------------------------- registry
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	r.GaugeFunc("f", "", func() float64 { return 1 })
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil-registry instruments retained state")
+	}
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("launches_total", "kernel launches")
+	b := r.Counter("launches_total", "kernel launches")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatal("shared counter not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("launches_total", "")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "jobs processed").Add(5)
+	r.Gauge("overflow", "current overflow").Set(0.25)
+	r.GaugeFunc(`engine_launches{engine="0"}`, "per-engine launches", func() float64 { return 42 })
+	r.GaugeFunc(`engine_launches{engine="1"}`, "per-engine launches", func() float64 { return 7 })
+	h := r.Histogram("iter_seconds", "iteration wall time", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 5",
+		"overflow 0.25",
+		"# TYPE engine_launches gauge",
+		`engine_launches{engine="0"} 42`,
+		`engine_launches{engine="1"} 7`,
+		`iter_seconds_bucket{le="0.01"} 1`,
+		`iter_seconds_bucket{le="0.1"} 2`,
+		`iter_seconds_bucket{le="1"} 2`,
+		`iter_seconds_bucket{le="+Inf"} 3`,
+		"iter_seconds_sum 5.055",
+		"iter_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The family header must appear once even with two labeled series.
+	if strings.Count(out, "# TYPE engine_launches gauge") != 1 {
+		t.Errorf("duplicated family header:\n%s", out)
+	}
+}
+
+func TestHistogramLabeled(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`job_seconds{queue="gp"}`, "", []float64{1})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`job_seconds_bucket{queue="gp",le="1"} 1`,
+		`job_seconds_sum{queue="gp"} 0.5`,
+		`job_seconds_count{queue="gp"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("labeled histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// ----------------------------------------------------------- bench record
+
+func benchRecordFixture() BenchRecord {
+	return BenchRecord{
+		Schema:    BenchSchema,
+		CreatedAt: "2026-08-06T00:00:00Z",
+		Note:      "fixture",
+		Runs: []BenchRun{
+			{Config: "baseline", Bench: "adaptec1", Scale: 0.004, Seed: 1, Workers: 4,
+				LaunchUS: 150, Iterations: 60, HPWL: 123456, Overflow: 0.8,
+				WallMS: 100, SimMS: 400, Launches: 2000, Syncs: 120, ArenaPeak: 1 << 20},
+			{Config: "xplace", Bench: "adaptec1", Scale: 0.004, Seed: 1, Workers: 4,
+				LaunchUS: 150, Iterations: 60, HPWL: 120000, Overflow: 0.8,
+				WallMS: 60, SimMS: 200, Launches: 900, Syncs: 60, ArenaPeak: 1 << 20},
+		},
+	}
+}
+
+func TestBenchRecordRoundTrip(t *testing.T) {
+	rec := benchRecordFixture()
+	var buf bytes.Buffer
+	if err := WriteBenchRecord(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != rec.Schema || len(got.Runs) != len(rec.Runs) {
+		t.Fatalf("round trip mangled record: %+v", got)
+	}
+	for i := range rec.Runs {
+		if got.Runs[i] != rec.Runs[i] {
+			t.Errorf("run %d round trip: got %+v want %+v", i, got.Runs[i], rec.Runs[i])
+		}
+	}
+}
+
+func TestBenchRecordValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BenchRecord)
+	}{
+		{"bad schema", func(r *BenchRecord) { r.Schema = "xplace-bench/999" }},
+		{"no runs", func(r *BenchRecord) { r.Runs = nil }},
+		{"missing config", func(r *BenchRecord) { r.Runs[0].Config = "" }},
+		{"missing bench", func(r *BenchRecord) { r.Runs[0].Bench = "" }},
+		{"zero iterations", func(r *BenchRecord) { r.Runs[0].Iterations = 0 }},
+		{"bad hpwl", func(r *BenchRecord) { r.Runs[0].HPWL = 0 }},
+		{"zero launches", func(r *BenchRecord) { r.Runs[0].Launches = 0 }},
+	}
+	for _, tc := range cases {
+		rec := benchRecordFixture()
+		tc.mutate(&rec)
+		if err := rec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid record", tc.name)
+		}
+	}
+}
+
+func TestCompareBenchRecords(t *testing.T) {
+	base := benchRecordFixture()
+	// Identical records pass.
+	if err := CompareBenchRecords(base, base, 0.05); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+	// Small HPWL drift within tolerance passes.
+	cur := benchRecordFixture()
+	cur.Runs[1].HPWL *= 1.04
+	if err := CompareBenchRecords(base, cur, 0.05); err != nil {
+		t.Fatalf("4%% drift rejected at 5%% tolerance: %v", err)
+	}
+	// HPWL regression beyond tolerance fails.
+	cur = benchRecordFixture()
+	cur.Runs[1].HPWL *= 1.10
+	if err := CompareBenchRecords(base, cur, 0.05); err == nil {
+		t.Fatal("10% HPWL regression passed a 5% gate")
+	}
+	// A changed launch count at equal iterations fails (operator schedule
+	// drifted).
+	cur = benchRecordFixture()
+	cur.Runs[0].Launches += 60
+	if err := CompareBenchRecords(base, cur, 0.05); err == nil {
+		t.Fatal("launch-count drift passed")
+	}
+	// A missing config fails.
+	cur = benchRecordFixture()
+	cur.Runs = cur.Runs[:1]
+	if err := CompareBenchRecords(base, cur, 0.05); err == nil {
+		t.Fatal("missing config passed")
+	}
+}

@@ -25,24 +25,31 @@ func (p *Placer) iterateBaseline() error {
 
 	vx, vy := p.opt.Positions()
 	gamma := p.schd.Gamma
+	gs := p.beginGroup()
 	wa := p.autogradGradient(vx, vy, gamma, p.schd.Lambda)
+	p.endGroup(gs, "op.autograd")
 	lambda := p.schd.Lambda
 
+	gs = p.beginGroup()
 	if p.opts.ExtraGradient != nil {
 		p.opts.ExtraGradient(p.iter, vx, vy, p.gX, p.gY)
 	}
 	p.pre.Apply(e, lambda, p.gX, p.gY)
 	p.opt.Step(e, p.gX, p.gY)
+	p.endGroup(gs, "op.optim")
 
 	// ePlace Nesterov line-search bookkeeping: one extra forward objective
 	// evaluation at the new lookahead point.
+	gs = p.beginGroup()
 	nvx, nvy := p.opt.Positions()
 	_ = wirelength.WAForward(e, d, nvx, nvy, gamma)
 	p.sys.ScatterDensity(e, d, nvx, nvy, field.MaskAll, p.sys.Total, "density.total_ls")
 	_ = p.sys.SolvePoisson(e)
+	p.endGroup(gs, "op.linesearch")
 
 	// Exact HPWL and overflow as separate operators (no fusion, no
 	// extraction: the cell map is scattered from scratch).
+	gs = p.beginGroup()
 	hpwl := wirelength.HPWL(e, d, vx, vy)
 	p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells_ovfl")
 	p.lastOverflow = p.sys.Overflow(e, d, p.sys.D, p.opts.TargetDensity)
@@ -51,6 +58,7 @@ func (p *Placer) iterateBaseline() error {
 	if nWL > 0 {
 		p.lastR = lambda * nD / nWL
 	}
+	p.endGroup(gs, "op.eval")
 
 	// Immediate per-metric host syncs (the un-reordered path).
 	e.Sync()

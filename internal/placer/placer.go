@@ -30,6 +30,7 @@ import (
 	"xplace/internal/kernel"
 	"xplace/internal/metrics"
 	"xplace/internal/netlist"
+	"xplace/internal/obs"
 	"xplace/internal/optim"
 	"xplace/internal/sched"
 	"xplace/internal/wirelength"
@@ -124,12 +125,26 @@ type Options struct {
 	// placement loop's goroutine; keep it cheap and do not call back into
 	// the placer from it.
 	Progress func(Snapshot)
+	// Tracer, when non-nil, records operator-group spans and per-iteration
+	// counter tracks (omega, lambda, gamma, overflow, HPWL). Attach the
+	// same tracer to the engine (Engine.SetTracer) to capture individual
+	// kernel launches on the same timeline.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives the paper-specific series: OC fused
+	// launch savings, OE map reuses, OS skips, the §3.2 schedule gauges and
+	// a per-iteration wall-time histogram. The instrument path is
+	// all-atomics, so a metrics-enabled GP iteration stays allocation-free.
+	Metrics *obs.Registry
 }
 
 // Snapshot is the per-iteration progress record handed to
 // Options.Progress: the host-visible scalars of the iteration that just
 // finished plus the §3.2 placement-stage classification.
 type Snapshot struct {
+	// Iter counts completed GP iterations, so it is 1-based: the snapshot
+	// delivered after the first iteration has Iter == 1, and the last
+	// snapshot of a run (completed, cancelled or timed out) has
+	// Iter == Result.Iterations.
 	Iter     int
 	HPWL     float64
 	WA       float64
@@ -195,6 +210,20 @@ type Placer struct {
 	wl   *wirelength.Ops
 	sq  *kernel.SyncQueue // private deferred-sync stream (engine-shareable)
 	ctx context.Context   // active run's context; Background outside a run
+
+	// Observability instruments (nil-safe: a disabled tracer/registry makes
+	// every use a nil-check no-op).
+	tracer       *obs.Tracer
+	instrumented bool // any tracer or metrics attached
+	mIters       *obs.Counter
+	mOCSaved     *obs.Counter
+	mOEReuse     *obs.Counter
+	mOSSkips     *obs.Counter
+	gOmega       *obs.Gauge
+	gLambda      *obs.Gauge
+	gGamma       *obs.Gauge
+	gOverflow    *obs.Gauge
+	hIter        *obs.Histogram
 
 	// Gradient buffers (cell-indexed over the augmented design).
 	pinGX, pinGY   []float64
@@ -316,7 +345,78 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 	}
 	p.wl = wirelength.NewOps(e, aug, wlModel)
 	p.buildBodies()
+	p.initInstruments()
 	return p, nil
+}
+
+// initInstruments resolves the observability hooks. With a nil registry
+// every constructor returns a nil instrument, and nil instruments no-op,
+// so the disabled path costs one nil check per site (§3.1 metric names are
+// documented in DESIGN.md).
+func (p *Placer) initInstruments() {
+	p.tracer = p.opts.Tracer
+	m := p.opts.Metrics
+	p.instrumented = p.tracer != nil || m != nil
+	p.mIters = m.Counter("xplace_gp_iterations_total", "completed GP iterations")
+	p.mOCSaved = m.Counter("xplace_oc_fused_launches_saved_total",
+		"kernel launches avoided by operator combination (§3.1.1)")
+	p.mOEReuse = m.Counter("xplace_oe_map_reuses_total",
+		"density-map reuses from operator extraction (§3.1.2)")
+	p.mOSSkips = m.Counter("xplace_os_density_skips_total",
+		"density evaluations skipped by operator skipping (§3.1.4)")
+	p.gOmega = m.Gauge("xplace_stage_omega", "§3.2 placement-stage progress omega")
+	p.gLambda = m.Gauge("xplace_lambda", "current density weight lambda")
+	p.gGamma = m.Gauge("xplace_gamma", "current wirelength smoothing gamma")
+	p.gOverflow = m.Gauge("xplace_overflow", "current density overflow ratio")
+	p.hIter = m.Histogram("xplace_iteration_seconds", "GP iteration wall time", nil)
+}
+
+// groupSpan is the staged start of one operator-group trace span; it is a
+// plain value so beginning/ending a span never allocates.
+type groupSpan struct {
+	start time.Time
+	sim   time.Duration
+}
+
+// beginGroup samples the wall and simulated clocks if tracing is on.
+func (p *Placer) beginGroup() groupSpan {
+	if p.tracer == nil {
+		return groupSpan{}
+	}
+	return groupSpan{start: time.Now(), sim: p.eng.SimulatedTime()}
+}
+
+// endGroup records the operator-group span started by beginGroup.
+func (p *Placer) endGroup(g groupSpan, name string) {
+	if p.tracer == nil {
+		return
+	}
+	p.tracer.Span(name, obs.CatGroup, g.start, time.Since(g.start),
+		g.sim, p.eng.SimulatedTime()-g.sim, p.iter)
+}
+
+// observeIteration publishes the just-finished iteration's scalars to the
+// metrics registry and the tracer's counter tracks. All instrument writes
+// are atomics, so this path is allocation-free.
+func (p *Placer) observeIteration() {
+	rec, ok := p.rec.Last()
+	if !ok {
+		return
+	}
+	p.mIters.Inc()
+	p.gOmega.Set(rec.Omega)
+	p.gLambda.Set(rec.Lambda)
+	p.gGamma.Set(rec.Gamma)
+	p.gOverflow.Set(rec.Overflow)
+	p.hIter.Observe(rec.WallTime.Seconds())
+	if p.tracer != nil {
+		now := time.Now()
+		p.tracer.Counter("omega", now, rec.Iter, rec.Omega)
+		p.tracer.Counter("lambda", now, rec.Iter, rec.Lambda)
+		p.tracer.Counter("gamma", now, rec.Iter, rec.Gamma)
+		p.tracer.Counter("overflow", now, rec.Iter, rec.Overflow)
+		p.tracer.Counter("hpwl", now, rec.Iter, rec.HPWL)
+	}
 }
 
 // buildBodies constructs the persistent per-iteration kernel bodies once.
@@ -432,9 +532,12 @@ func (p *Placer) Run() (*Result, error) { return p.RunContext(context.Background
 // is checked between kernel launches (at operator-group boundaries inside
 // each iteration), so a cancelled run stops with no scratch mid-checkout;
 // the returned error is then ctx.Err() (context.Canceled or
-// context.DeadlineExceeded). A cancelled placer remains valid: call Close
-// to return its arena-backed scratch to the engine, or RunContext again to
-// resume iterating from the current state.
+// context.DeadlineExceeded) alongside a PARTIAL result: the positions,
+// metrics and stats of the iterations that did complete, with
+// Result.Iterations equal to the last delivered Snapshot.Iter. A cancelled
+// placer remains valid: call Close to return its arena-backed scratch to
+// the engine, or RunContext again to resume iterating from the current
+// state.
 func (p *Placer) RunContext(ctx context.Context) (*Result, error) {
 	start := time.Now()
 	p.eng.Reset()
@@ -445,7 +548,7 @@ func (p *Placer) RunContext(ctx context.Context) (*Result, error) {
 	defer func() { p.ctx = context.Background() }()
 	for {
 		if err := p.RunIteration(); err != nil {
-			return nil, err
+			return p.finalize(start), err
 		}
 		if p.schd.Done(p.lastOverflow) {
 			break
@@ -475,10 +578,15 @@ func (p *Placer) RunIteration() error {
 	} else {
 		err = p.iterateXplace()
 	}
-	if err != nil || p.opts.Progress == nil {
+	if err != nil {
 		return err
 	}
-	p.opts.Progress(p.snapshot())
+	if p.instrumented {
+		p.observeIteration()
+	}
+	if p.opts.Progress != nil {
+		p.opts.Progress(p.snapshot())
+	}
 	return nil
 }
 
@@ -487,7 +595,7 @@ func (p *Placer) RunIteration() error {
 func (p *Placer) snapshot() Snapshot {
 	rec, _ := p.rec.Last()
 	return Snapshot{
-		Iter:     rec.Iter,
+		Iter:     rec.Iter + 1, // recorder iters are 0-based; see Snapshot.Iter
 		HPWL:     rec.HPWL,
 		WA:       rec.WA,
 		Overflow: rec.Overflow,

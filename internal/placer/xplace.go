@@ -41,15 +41,18 @@ func (p *Placer) iterateXplace() error {
 		// --- Numerical gradient path (OR on) --------------------------
 
 		// Wirelength operators (model selected by Options.Wirelength).
+		gs := p.beginGroup()
 		if p.opts.OperatorCombination {
 			// OC: smoothed wirelength + gradient + HPWL in one kernel.
 			res := p.wl.Fused(vx, vy, gamma, p.pinGX, p.pinGY)
 			wa, hpwl = res.WA, res.HPWL
+			p.mOCSaved.Add(2) // three kernels' work in one launch
 		} else {
 			wa = p.wl.Grad(vx, vy, gamma, p.pinGX, p.pinGY)
 			hpwl = p.wl.HPWL(vx, vy)
 		}
 		p.wl.PinToCell(p.pinGX, p.pinGY, p.wlGX, p.wlGY)
+		p.endGroup(gs, "op.wirelength")
 
 		// Cancellation point between the wirelength and density operator
 		// groups: every kernel so far has completed and no arena scratch is
@@ -61,10 +64,15 @@ func (p *Placer) iterateXplace() error {
 		// Density operators (possibly skipped, §3.1.4).
 		skip := p.schd.ShouldSkipDensity(p.lastR) && p.iter > 0
 		if !skip {
+			gs = p.beginGroup()
 			p.computeDensity(vx, vy)
+			p.endGroup(gs, "op.density")
+		} else {
+			p.mOSSkips.Inc()
 		}
 
 		// Gradient assembly.
+		gs = p.beginGroup()
 		if !p.lambdaInit {
 			nWL, nD := p.l1Norms(p.wlGX, p.wlGY, p.dGX, p.dGY)
 			p.schd.InitLambda(nWL, nD)
@@ -76,6 +84,7 @@ func (p *Placer) iterateXplace() error {
 			// one launch instead of two (the Fused helper — §3.1.1 applied
 			// to the assembly stage).
 			e.Fused("placer.fused_grad", len(p.gX), p.fusedGradBodies...)
+			p.mOCSaved.Inc()
 		} else {
 			e.Launch("placer.combine_grad", len(p.gX), p.combineBody)
 		}
@@ -85,9 +94,13 @@ func (p *Placer) iterateXplace() error {
 				p.lastR = p.curLambda * nD / nWL
 			}
 		}
+		p.endGroup(gs, "op.grad_assembly")
 	} else {
 		// --- Autograd path (OR off) -----------------------------------
+		gs := p.beginGroup()
 		wa = p.autogradGradient(vx, vy, gamma, p.schd.Lambda)
+		p.endGroup(gs, "op.autograd")
+		gs = p.beginGroup()
 		hpwl = wirelength.HPWL(e, d, vx, vy)
 		// Overflow needs the cell map; without extraction it is scattered
 		// from scratch.
@@ -97,6 +110,7 @@ func (p *Placer) iterateXplace() error {
 		if nWL > 0 {
 			p.lastR = p.schd.Lambda * nD / nWL
 		}
+		p.endGroup(gs, "op.eval")
 	}
 
 	// Second cancellation point: gradient assembled, optimizer step not yet
@@ -106,6 +120,7 @@ func (p *Placer) iterateXplace() error {
 	}
 
 	lambda := p.schd.Lambda
+	gs := p.beginGroup()
 	fusedPre := p.opts.OperatorReduction && p.opts.OperatorCombination && p.opts.ExtraGradient == nil
 	if !fusedPre {
 		if p.opts.ExtraGradient != nil {
@@ -114,7 +129,9 @@ func (p *Placer) iterateXplace() error {
 		p.pre.Apply(e, lambda, p.gX, p.gY)
 	}
 	p.opt.Step(e, p.gX, p.gY)
+	p.endGroup(gs, "op.optim")
 
+	gs = p.beginGroup()
 	rec := metricsRecord(p, hpwl, wa, gamma, lambda)
 	if p.opts.OperatorReduction {
 		// OR: the metric copy-back is a host sync; defer it to the end of
@@ -135,6 +152,7 @@ func (p *Placer) iterateXplace() error {
 	}
 
 	p.schd.Advance(hpwl, p.lastOverflow)
+	p.endGroup(gs, "op.sched_record")
 	p.iter++
 	return nil
 }
@@ -151,6 +169,7 @@ func (p *Placer) computeDensity(vx, vy []float64) {
 		p.sys.ScatterDensity(e, d, vx, vy, field.MaskMovable|field.MaskFixed, p.sys.D, "density.cells")
 		p.sys.ScatterDensity(e, d, vx, vy, field.MaskFiller, p.sys.Dfl, "density.fillers")
 		p.sys.AddMaps(e, p.sys.D, p.sys.Dfl, p.sys.Total)
+		p.mOEReuse.Inc() // OVFL below reuses D instead of re-scattering
 	} else {
 		// Naive: total map in one pass, then a second full scatter of
 		// the non-filler cells just for the overflow ratio.

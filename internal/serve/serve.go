@@ -29,11 +29,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"xplace/internal/kernel"
 	"xplace/internal/netlist"
+	"xplace/internal/obs"
 	"xplace/internal/placer"
 )
 
@@ -93,6 +93,12 @@ type Spec struct {
 	Timeout time.Duration
 	// Label is a free-form tag echoed in Status.
 	Label string
+	// Trace, when true, records a per-job operator trace: the runtime
+	// attaches a fresh obs.Tracer to the worker's engine and the placer for
+	// the job's duration, retrievable with Job.Tracer (the /jobs/{id}/trace
+	// endpoint). Tracing buffers every kernel launch in memory; reserve it
+	// for diagnosis, not fleet-wide defaults.
+	Trace bool
 }
 
 // Options configures a Scheduler.
@@ -112,6 +118,10 @@ type Options struct {
 	DefaultTimeout time.Duration
 	// History is the per-job progress ring capacity (default 512).
 	History int
+	// Metrics is the registry the scheduler publishes its xserve_* series
+	// to (and hands to every job's placer for the xplace_* series). Nil
+	// creates a private registry, retrievable with Scheduler.Registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -141,6 +151,7 @@ type Job struct {
 	state     State
 	err       error
 	result    *placer.Result
+	tracer    *obs.Tracer // per-job trace (Spec.Trace); set when running
 	snaps     []placer.Snapshot // progress ring
 	snapStart int               // ring read index
 	snapCount int               // valid entries in ring
@@ -166,8 +177,8 @@ type Status struct {
 	// Progress is the most recent iteration snapshot (zero until the
 	// first iteration completes).
 	Progress placer.Snapshot
-	// Iterations / HPWL / Overflow are filled from the final result once
-	// the job succeeds.
+	// Iterations / HPWL / Overflow are filled from the result once the job
+	// finishes (for cancelled/timed-out jobs: the partial result).
 	Iterations int
 	HPWL       float64
 	Overflow   float64
@@ -179,12 +190,32 @@ func (j *Job) ID() int64 { return j.id }
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-// Result returns the placement result (nil unless Succeeded) and the
-// job's error, if any.
+// Result returns the placement result and the job's error, if any. A
+// succeeded job has a result and a nil error; a cancelled or timed-out job
+// has BOTH — the partial result of the iterations that completed (its
+// Iterations equals the last delivered Snapshot.Iter) alongside the
+// context error. Only a job that failed outright (or was cancelled while
+// still queued) has a nil result.
 func (j *Job) Result() (*placer.Result, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result, j.err
+}
+
+// Tracer returns the job's operator trace, or nil when the job was not
+// submitted with Spec.Trace (or has not started running yet). The tracer
+// keeps accumulating until the job finishes; reading it concurrently is
+// safe (recording and export take the tracer's own lock).
+func (j *Job) Tracer() *obs.Tracer {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tracer
+}
+
+func (j *Job) setTracer(t *obs.Tracer) {
+	j.mu.Lock()
+	j.tracer = t
+	j.mu.Unlock()
 }
 
 // Status returns a snapshot of the job's state.
@@ -351,6 +382,9 @@ type EngineStatus struct {
 }
 
 // Scheduler runs placement jobs from a bounded queue over an engine pool.
+// Its cumulative accounting lives in an obs.Registry (the xserve_* series),
+// so the daemon's /metrics scrape renders the same instruments the
+// scheduler updates — no parallel hand-rolled counter set.
 type Scheduler struct {
 	opts    Options
 	queue   chan *Job
@@ -362,32 +396,88 @@ type Scheduler struct {
 	nextID   int64
 	draining bool
 
-	submitted, rejected       atomic.Int64
-	succeeded, failed         atomic.Int64
-	canceled, timedOut        atomic.Int64
-	active                    atomic.Int64
-	iterations, launchesTotal atomic.Int64
+	reg        *obs.Registry
+	submitted  *obs.Counter
+	rejected   *obs.Counter
+	succeeded  *obs.Counter
+	failed     *obs.Counter
+	canceled   *obs.Counter
+	timedOut   *obs.Counter
+	active     *obs.Gauge
+	iterations *obs.Counter
+	launches   *obs.Counter
+	jobSeconds *obs.Histogram
 }
 
 // New starts a scheduler with its engine pool and worker set.
 func New(opts Options) *Scheduler {
 	o := opts.withDefaults()
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Scheduler{
 		opts:  o,
 		queue: make(chan *Job, o.QueueCap),
 		jobs:  make(map[int64]*Job),
+		reg:   reg,
 	}
+	s.submitted = reg.Counter("xserve_jobs_submitted", "jobs accepted by Submit")
+	s.rejected = reg.Counter("xserve_jobs_rejected", "jobs rejected by a full queue")
+	s.succeeded = reg.Counter("xserve_jobs_succeeded", "jobs finished successfully")
+	s.failed = reg.Counter("xserve_jobs_failed", "jobs finished with an error")
+	s.canceled = reg.Counter("xserve_jobs_canceled", "jobs cancelled")
+	s.timedOut = reg.Counter("xserve_jobs_timed_out", "jobs that hit their timeout")
+	s.active = reg.Gauge("xserve_jobs_active", "currently running jobs")
+	reg.GaugeFunc("xserve_jobs_queued", "currently queued jobs",
+		func() float64 { return float64(len(s.queue)) })
+	s.iterations = reg.Counter("xserve_gp_iterations_total", "GP iterations across finished jobs")
+	s.launches = reg.Counter("xserve_kernel_launches_total", "kernel launches across finished jobs")
+	s.jobSeconds = reg.Histogram("xserve_job_seconds", "job run time (start to finish)", nil)
 	for i := 0; i < o.Engines; i++ {
 		eng := kernel.New(kernel.Options{
 			Workers:        o.EngineWorkers,
 			LaunchOverhead: o.LaunchOverhead,
 		})
 		s.engines = append(s.engines, eng)
+		s.registerEngineGauges(i, eng)
 		s.wg.Add(1)
 		go s.worker(eng)
 	}
 	return s
 }
+
+// registerEngineGauges publishes one pooled engine's live accounting as
+// scrape-time gauges. The functions read engine state under the engine's
+// own locks only — a scrape never touches job locks, so it cannot stall
+// (or be stalled by) a running placement.
+func (s *Scheduler) registerEngineGauges(i int, eng *kernel.Engine) {
+	label := fmt.Sprintf("{engine=%q}", fmt.Sprint(i))
+	gauge := func(name, help string, fn func() float64) {
+		s.reg.GaugeFunc(name+label, help, fn)
+	}
+	gauge("xserve_engine_workers", "kernel parallelism per engine",
+		func() float64 { return float64(eng.Workers()) })
+	gauge("xserve_engine_launches", "engine launches in the current stats window",
+		func() float64 { return float64(eng.Stats().Launches) })
+	gauge("xserve_engine_syncs", "engine syncs in the current stats window",
+		func() float64 { return float64(eng.Stats().Syncs) })
+	gauge("xserve_arena_in_use_bytes", "arena bytes checked out",
+		func() float64 { return float64(eng.ArenaStats().InUse) })
+	gauge("xserve_arena_pooled_bytes", "arena bytes pooled",
+		func() float64 { return float64(eng.ArenaStats().Pooled) })
+	gauge("xserve_arena_peak_bytes", "arena peak bytes",
+		func() float64 { return float64(eng.ArenaStats().Peak) })
+	gauge("xserve_arena_hits", "arena free-list hits",
+		func() float64 { return float64(eng.ArenaStats().Hits) })
+	gauge("xserve_arena_misses", "arena free-list misses",
+		func() float64 { return float64(eng.ArenaStats().Misses) })
+}
+
+// Registry returns the scheduler's metrics registry (for the daemon's
+// /metrics endpoint, or for callers that passed Options.Metrics and want
+// the same handle back).
+func (s *Scheduler) Registry() *obs.Registry { return s.reg }
 
 // Submit enqueues a job. It never blocks: a full queue returns
 // ErrQueueFull and a draining scheduler ErrDraining.
@@ -419,12 +509,12 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	default:
 		s.mu.Unlock()
 		cancel()
-		s.rejected.Add(1)
+		s.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
-	s.submitted.Add(1)
+	s.submitted.Inc()
 	return j, nil
 }
 
@@ -479,17 +569,20 @@ func (s *Scheduler) jobFinished(j *Job, res *placer.Result, err error) {
 	}
 	switch st := j.Status().State; st {
 	case Succeeded:
-		s.succeeded.Add(1)
+		s.succeeded.Inc()
 	case Failed:
-		s.failed.Add(1)
+		s.failed.Inc()
 	case Canceled:
-		s.canceled.Add(1)
+		s.canceled.Inc()
 	case TimedOut:
-		s.timedOut.Add(1)
+		s.timedOut.Inc()
 	}
 	if res != nil {
 		s.iterations.Add(int64(res.Iterations))
-		s.launchesTotal.Add(res.Stats.Launches)
+		s.launches.Add(res.Stats.Launches)
+	}
+	if st := j.Status(); !st.Started.IsZero() && !st.Finished.IsZero() {
+		s.jobSeconds.Observe(st.Finished.Sub(st.Started).Seconds())
 	}
 }
 
@@ -523,6 +616,17 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 
 	opts := j.spec.Options
 	opts.Progress = j.observe
+	opts.Metrics = s.reg
+	if j.spec.Trace {
+		// Per-job trace: the tracer sees this engine's launches only while
+		// this job runs (workers run one job at a time), so the trace window
+		// is exactly the job. Detach before the engine returns to the pool.
+		t := obs.NewTracer()
+		j.setTracer(t)
+		eng.SetTracer(t)
+		defer eng.SetTracer(nil)
+		opts.Tracer = t
+	}
 	p, err := placer.New(j.spec.Design, eng, opts)
 	if err != nil {
 		s.jobFinished(j, nil, err)
@@ -570,19 +674,20 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// Counters returns the cumulative scheduler accounting.
+// Counters returns the cumulative scheduler accounting (a typed view over
+// the same registry-backed instruments /metrics scrapes).
 func (s *Scheduler) Counters() Counters {
 	return Counters{
-		Submitted:  s.submitted.Load(),
-		Rejected:   s.rejected.Load(),
-		Succeeded:  s.succeeded.Load(),
-		Failed:     s.failed.Load(),
-		Canceled:   s.canceled.Load(),
-		TimedOut:   s.timedOut.Load(),
-		Active:     s.active.Load(),
+		Submitted:  s.submitted.Value(),
+		Rejected:   s.rejected.Value(),
+		Succeeded:  s.succeeded.Value(),
+		Failed:     s.failed.Value(),
+		Canceled:   s.canceled.Value(),
+		TimedOut:   s.timedOut.Value(),
+		Active:     int64(s.active.Value()),
 		Queued:     int64(len(s.queue)),
-		Iterations: s.iterations.Load(),
-		Launches:   s.launchesTotal.Load(),
+		Iterations: s.iterations.Value(),
+		Launches:   s.launches.Value(),
 	}
 }
 

@@ -1,0 +1,265 @@
+package xplace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"xplace/internal/detail"
+	"xplace/internal/kernel"
+	"xplace/internal/legal"
+	"xplace/internal/obs"
+	"xplace/internal/placer"
+	"xplace/internal/router"
+)
+
+// Observability handles, re-exported for API users.
+type (
+	// Tracer records operator spans and kernel launches, exportable as
+	// Chrome trace_event JSON (WriteChromeTrace). A nil *Tracer is the
+	// disabled tracer: every method no-ops.
+	Tracer = obs.Tracer
+	// MetricsRegistry is a typed metrics registry with Prometheus text
+	// exposition (WritePrometheus). A nil *MetricsRegistry is disabled.
+	MetricsRegistry = obs.Registry
+	// BenchRecord is the machine-readable bench-trajectory record emitted
+	// by `xbench -json` (the BENCH_*.json schema).
+	BenchRecord = obs.BenchRecord
+	// BenchRun is one configuration's entry in a BenchRecord.
+	BenchRun = obs.BenchRun
+)
+
+// NewTracer returns an enabled tracer with its epoch pinned to now.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Session is the package's run facade: it owns an engine (created lazily,
+// or supplied with WithEngine) plus the observability wiring — tracer,
+// metrics registry, progress hook — and threads them through every
+// placement or flow it runs. All entry points (Place, PlaceContext,
+// RunFlow, RunFlowContext) are thin wrappers over one Session path, so
+// there is a single place where engine lifetime and instrumentation are
+// decided.
+//
+// Engine ownership: a Session that creates its own engine (no WithEngine)
+// closes it in Close; a caller-supplied engine is NEVER closed by the
+// session — whoever built it keeps that responsibility. Always `defer
+// s.Close()`; it is idempotent and cheap when there is nothing to do.
+//
+// A Session is safe for sequential reuse (several Place/Flow calls share
+// the warm engine); concurrent runs need one Session per goroutine or a
+// serve.Scheduler.
+type Session struct {
+	mu       sync.Mutex
+	eng      *kernel.Engine
+	ownsEng  bool
+	workers  int
+	overhead time.Duration
+	tracer   *obs.Tracer
+	metrics  *obs.Registry
+	progress func(Snapshot)
+	closed   bool
+}
+
+// Option configures a Session (functional options).
+type Option func(*Session)
+
+// WithEngine runs the session on a caller-owned engine. The session will
+// not Close it; the caller keeps the engine's lifetime.
+func WithEngine(e *Engine) Option {
+	return func(s *Session) { s.eng, s.ownsEng = e, false }
+}
+
+// WithEngineOptions sets the worker count and simulated launch overhead of
+// the engine the session creates lazily (ignored after WithEngine).
+// workers <= 0 selects NumCPU; overhead < 0 the default launch cost, 0
+// disables the launch-cost model.
+func WithEngineOptions(workers int, overhead time.Duration) Option {
+	return func(s *Session) { s.workers, s.overhead = workers, overhead }
+}
+
+// WithTracer records every kernel launch, operator group and flow stage of
+// the session's runs on t (attach is per-run: the engine's tracer is set
+// for the duration of Place/Flow and detached after, so a shared engine
+// does not keep tracing for other users).
+func WithTracer(t *Tracer) Option {
+	return func(s *Session) { s.tracer = t }
+}
+
+// WithMetrics publishes the placer's paper-optimization series (see
+// DESIGN.md) to m.
+func WithMetrics(m *MetricsRegistry) Option {
+	return func(s *Session) { s.metrics = m }
+}
+
+// WithProgress receives a Snapshot after every completed GP iteration
+// (unless the per-run PlacementOptions.Progress is set, which wins).
+func WithProgress(fn func(Snapshot)) Option {
+	return func(s *Session) { s.progress = fn }
+}
+
+// NewSession builds a session. With no options it lazily creates a
+// default engine (NumCPU workers, default launch overhead) that Close
+// tears down.
+func NewSession(opts ...Option) *Session {
+	s := &Session{overhead: -1}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Engine returns the session's engine, creating it on first use when none
+// was supplied.
+func (s *Session) Engine() *Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng == nil {
+		s.eng = kernel.New(kernel.Options{Workers: s.workers, LaunchOverhead: s.overhead})
+		s.ownsEng = true
+	}
+	return s.eng
+}
+
+// Close releases the session: an engine the session created is Closed
+// (worker pool torn down, arena dropped); a caller-supplied engine is left
+// untouched. Idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	eng, owns := s.eng, s.ownsEng
+	s.eng = nil
+	closed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !closed && owns && eng != nil {
+		eng.Close()
+	}
+}
+
+// instrument injects the session's observability wiring into run options;
+// per-run settings win over session-level ones.
+func (s *Session) instrument(opts placer.Options) placer.Options {
+	if opts.Progress == nil {
+		opts.Progress = s.progress
+	}
+	if opts.Tracer == nil {
+		opts.Tracer = s.tracer
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = s.metrics
+	}
+	return opts
+}
+
+// attachTracer points the engine at the run's tracer for the duration of
+// one run; the returned detach must be deferred.
+func (s *Session) attachTracer(eng *Engine, t *obs.Tracer) (detach func()) {
+	if t == nil {
+		return func() {}
+	}
+	eng.SetTracer(t)
+	return func() { eng.SetTracer(nil) }
+}
+
+// Place runs global placement to convergence under ctx on the session's
+// engine, with the session's observability wiring. On cancellation or
+// deadline the error is ctx.Err() and the result holds the partial
+// placement (see placer.RunContext).
+func (s *Session) Place(ctx context.Context, d *Design, opts PlacementOptions) (*PlacementResult, error) {
+	opts = s.instrument(opts)
+	eng := s.Engine()
+	p, err := placer.New(d, eng, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	defer s.attachTracer(eng, opts.Tracer)()
+	return p.RunContext(ctx)
+}
+
+// Flow executes the full placement flow (GP -> legalization -> detailed
+// placement -> optional routing) under ctx on the session's engine.
+// FlowOptions.Engine/Workers/LaunchOverhead are ignored here — the
+// session decides the engine; use the RunFlow wrappers (or session
+// options) to configure it. Stage boundaries are recorded as flow-stage
+// spans when the session has a tracer.
+func (s *Session) Flow(ctx context.Context, d *Design, opts FlowOptions) (*FlowResult, error) {
+	if opts.Progress != nil {
+		opts.Placement.Progress = opts.Progress
+	}
+	popts := s.instrument(opts.Placement)
+	eng := s.Engine()
+	p, err := placer.New(d, eng, popts)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	defer s.attachTracer(eng, popts.Tracer)()
+	tr := popts.Tracer
+
+	res := &FlowResult{}
+	stageStart := time.Now()
+	simStart := eng.SimulatedTime()
+	stage := func(name string) {
+		if tr != nil {
+			tr.Span(name, obs.CatFlow, stageStart, time.Since(stageStart),
+				simStart, eng.SimulatedTime()-simStart, -1)
+		}
+		stageStart = time.Now()
+		simStart = eng.SimulatedTime()
+	}
+
+	gp, err := p.RunContext(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("xplace: global placement: %w", err)
+	}
+	stage("flow.gp")
+	res.GP = gp
+	res.GPTime = gp.WallTime
+	res.GPSim = gp.SimTime
+	res.HPWLGP = gp.HPWL
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("xplace: legalization: %w", err)
+	}
+	lgStart := time.Now()
+	var lx, ly []float64
+	switch opts.Legalizer {
+	case LegalizeAbacus:
+		lx, ly, err = legal.Abacus(d, gp.X, gp.Y)
+	default:
+		lx, ly, err = legal.Tetris(d, gp.X, gp.Y)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("xplace: legalization: %w", err)
+	}
+	stage("flow.legalize")
+	res.LGTime = time.Since(lgStart)
+	res.LegalX, res.LegalY = lx, ly
+	res.HPWLLegal = d.HPWL(lx, ly)
+
+	res.FinalX, res.FinalY = lx, ly
+	if !opts.SkipDetail {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xplace: detailed placement: %w", err)
+		}
+		dpStart := time.Now()
+		res.FinalX, res.FinalY = detail.Run(d, lx, ly, opts.Detail)
+		res.DPTime = time.Since(dpStart)
+		stage("flow.detail")
+	}
+	res.HPWLFinal = d.HPWL(res.FinalX, res.FinalY)
+	res.Violations = len(legal.Check(d, res.FinalX, res.FinalY))
+
+	if opts.Route != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("xplace: routing: %w", err)
+		}
+		res.Route = router.Route(d, res.FinalX, res.FinalY, *opts.Route)
+		stage("flow.route")
+	}
+	return res, nil
+}

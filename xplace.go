@@ -120,25 +120,31 @@ func DefaultPlacement() PlacementOptions { return placer.Defaults() }
 func BaselinePlacement() PlacementOptions { return placer.BaselineDefaults() }
 
 // NewPlacer prepares a reusable placer for one design on one engine.
+// Engine ownership stays with the caller: the placer never Closes e, and
+// p.Close only returns the placer's arena-backed scratch to the engine.
+// Callers that want managed engine lifetime should use a Session instead.
 func NewPlacer(d *Design, e *Engine, opts PlacementOptions) (*placer.Placer, error) {
 	return placer.New(d, e, opts)
 }
 
-// Place runs global placement to convergence on a default engine.
+// Place runs global placement to convergence on a default engine. It is a
+// thin wrapper over Session.Place on a temporary Session, so the engine it
+// creates is released before returning.
 func Place(d *Design, opts PlacementOptions) (*PlacementResult, error) {
 	return PlaceContext(context.Background(), d, opts)
 }
 
 // PlaceContext runs global placement to convergence on a default engine,
 // honoring ctx: cancellation and deadlines are checked between kernel
-// launches, and the placer's scratch is released before returning.
+// launches, and the placer's scratch is released before returning. On
+// cancellation the error is ctx.Err() and the result carries the partial
+// placement. Like Place, it wraps Session.Place on a temporary Session
+// that is Closed before returning (fixing the historical leak where the
+// implicit default engine's worker pool was never torn down).
 func PlaceContext(ctx context.Context, d *Design, opts PlacementOptions) (*PlacementResult, error) {
-	p, err := placer.New(d, kernel.NewDefault(), opts)
-	if err != nil {
-		return nil, err
-	}
-	defer p.Close()
-	return p.RunContext(ctx)
+	s := NewSession()
+	defer s.Close()
+	return s.Place(ctx, d, opts)
 }
 
 // GenerateBenchmark synthesizes a contest design by name (Table 1 of the
@@ -163,6 +169,10 @@ func Catalog2005() []BenchmarkSpec { return benchgen.Catalog2005() }
 func Catalog2015() []BenchmarkSpec { return benchgen.Catalog2015() }
 
 // ReadBookshelf loads a bookshelf design from its .aux file.
+//
+// Deprecated: use Load, which autodetects the format from the path and
+// contents. ReadBookshelf is kept working under the deprecation policy in
+// README.md and is now a thin alias of Load's bookshelf path.
 func ReadBookshelf(auxPath string) (*Design, error) { return bookshelf.ReadAux(auxPath) }
 
 // WriteBookshelf writes the design as bookshelf files into dir.
@@ -174,9 +184,16 @@ func WritePlacementPl(path string, d *Design, x, y []float64) error {
 }
 
 // ReadLEF parses a LEF cell library.
+//
+// Deprecated: use LoadLEF for paths, or keep ReadLEF for non-file readers
+// (it stays supported under the deprecation policy in README.md).
 func ReadLEF(r io.Reader) (*LEFLibrary, error) { return lefdef.ParseLEF(r) }
 
 // ReadDEF parses a DEF design against a LEF library.
+//
+// Deprecated: use Load with WithLEF/WithLEFLibrary, which autodetects DEF
+// from the path and contents. ReadDEF stays supported for non-file
+// readers under the deprecation policy in README.md.
 func ReadDEF(r io.Reader, lib *LEFLibrary) (*Design, error) { return lefdef.ParseDEF(r, lib) }
 
 // WriteDEF writes the design as DEF with the given center positions.
