@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench fuzz-smoke bench-trajectory bench-smoke check
+.PHONY: all vet build test test-float32 race bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -12,6 +12,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Tier-1 suite on the float32 fast path: the XPLACE_BACKEND env default
+# re-runs every test on the reduced-precision backend without touching
+# call sites (tests that pin exact float64 math set their backend
+# explicitly, so they stay meaningful under the override).
+test-float32:
+	XPLACE_BACKEND=float32 $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
@@ -31,12 +38,14 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/kernel ./internal/dct
 
-# Bench trajectory: the pinned three-config run (DREAMPlace-style baseline,
-# Xplace without operator combination, full Xplace) on adaptec1, written as
-# a machine-readable record. Re-baselining BENCH_5.json is a deliberate
-# act: run this target and commit the diff alongside the change that moved
-# the numbers.
-BENCH_BASELINE ?= BENCH_5.json
+# Bench trajectory: the pinned seven-config run (DREAMPlace-style baseline,
+# Xplace without operator combination, full Xplace, plus the compute-backend
+# ablation: float32, spectral truncation, adaptive grid, and all three
+# combined) on adaptec1, written as a machine-readable record with the
+# poisson512 micro timings. Re-baselining BENCH_6.json is a deliberate act:
+# run this target and commit the diff alongside the change that moved the
+# numbers.
+BENCH_BASELINE ?= BENCH_6.json
 bench-trajectory:
 	$(GO) run ./cmd/xbench -json $(BENCH_BASELINE)
 

@@ -10,14 +10,15 @@ import (
 )
 
 // TestCheckedInBenchRecord validates the committed bench-trajectory
-// baseline: it parses under the current schema, carries the three pinned
+// baseline: it parses under the current schema, carries the seven pinned
 // configurations, shows the paper's OC saving (the fused config launches
 // strictly fewer kernels than the unfused one over the same iterations),
-// and survives a write/read round trip unchanged. A schema change that
-// breaks this test must re-baseline BENCH_5.json (make bench-trajectory)
-// in the same commit.
+// keeps the float32 trajectory within the precision band of the float64
+// reference, and survives a write/read round trip unchanged. A schema
+// change that breaks this test must re-baseline BENCH_6.json
+// (make bench-trajectory) in the same commit.
 func TestCheckedInBenchRecord(t *testing.T) {
-	fh, err := os.Open("BENCH_5.json")
+	fh, err := os.Open("BENCH_6.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,10 @@ func TestCheckedInBenchRecord(t *testing.T) {
 	for _, r := range rec.Runs {
 		runs[r.Config] = r
 	}
-	for _, want := range []string{"baseline", "xplace-unfused", "xplace"} {
+	for _, want := range []string{
+		"baseline", "xplace-unfused", "xplace",
+		"xplace-f32", "xplace-trunc", "xplace-adaptive", "xplace-fast",
+	} {
 		if _, ok := runs[want]; !ok {
 			t.Fatalf("baseline record missing config %q", want)
 		}
@@ -47,6 +51,32 @@ func TestCheckedInBenchRecord(t *testing.T) {
 	if base := runs["baseline"]; base.Launches <= unfused.Launches {
 		t.Errorf("autograd baseline launched %d kernels <= unfused Xplace's %d",
 			base.Launches, unfused.Launches)
+	}
+
+	// The backend ablation rows record which backend produced them, and
+	// the float32 trajectory stays within its precision band of the
+	// reference at the pinned iteration count.
+	if got := runs["xplace-f32"].Backend; got != "float32" {
+		t.Errorf("xplace-f32 backend = %q, want float32", got)
+	}
+	if got := runs["xplace"].Backend; got != "float64" {
+		t.Errorf("xplace backend = %q, want float64", got)
+	}
+	f32, ref := runs["xplace-f32"], runs["xplace"]
+	if rel := (f32.HPWL - ref.HPWL) / ref.HPWL; rel > 0.05 || rel < -0.05 {
+		t.Errorf("float32 HPWL %v drifted %.2f%% from float64 %v", f32.HPWL, rel*100, ref.HPWL)
+	}
+
+	// The poisson512 micro section carries both backends' full and
+	// truncated solve timings.
+	micro := map[string]bool{}
+	for _, m := range rec.Micro {
+		micro[m.Backend+"/"+m.Variant] = true
+	}
+	for _, want := range []string{"float64/full", "float64/truncated", "float32/full", "float32/truncated"} {
+		if !micro[want] {
+			t.Errorf("micro section missing %q (have %v)", want, micro)
+		}
 	}
 
 	var buf bytes.Buffer

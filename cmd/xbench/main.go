@@ -25,14 +25,18 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"xplace"
+	"xplace/internal/backend"
 	"xplace/internal/benchgen"
 	"xplace/internal/dct"
+	"xplace/internal/field"
+	"xplace/internal/geom"
 	"xplace/internal/kernel"
 	"xplace/internal/obs"
 	"xplace/internal/placer"
@@ -55,6 +59,7 @@ var (
 	checkRec  = flag.String("check", "", "run the bench trajectory and compare it against this baseline record; non-zero exit on regression")
 	checkTol  = flag.Float64("check-tol", 0.05, "HPWL regression tolerance for -check (0.05 = 5%)")
 	benchNote = flag.String("note", "", "free-form note stored in the -json record")
+	backendN  = flag.String("backend", "", "compute backend for the table/figure runs: float64 | float32 (default follows XPLACE_BACKEND; the pinned trajectory configs set their own)")
 )
 
 func engine() *kernel.Engine {
@@ -66,6 +71,18 @@ func engine() *kernel.Engine {
 
 func main() {
 	flag.Parse()
+	if *backendN != "" {
+		if _, err := xplace.LookupBackend(*backendN); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(2)
+		}
+		// The tables and figures build many configs through many helpers;
+		// rather than threading the choice through each one, set the
+		// process default every backend.Resolve(nil) call site follows.
+		// The pinned trajectory configs are unaffected: they set an
+		// explicit Backend so the gate never depends on the environment.
+		os.Setenv(backend.EnvVar, *backendN)
+	}
 	if *jsonOut != "" || *checkRec != "" {
 		benchTrajectory()
 		return
@@ -117,23 +134,55 @@ const (
 	trajWorkers = 4
 )
 
-// trajConfigs are the three placer configurations the trajectory compares:
-// the DREAMPlace-style autograd baseline, Xplace with operator combination
-// (OC) disabled, and full Xplace. The launch-count gap between the last
-// two is the paper's OC saving (§3.1.1) made machine-checkable.
+// trajF32Tol is the in-trajectory float32-vs-float64 HPWL gate: at the
+// pinned iteration count the fast-path trajectory must stay within this
+// relative band of the reference (mid-convergence trajectories diverge
+// more than converged ones, so this is looser than the 1% quality gates
+// the to-convergence tests apply).
+const trajF32Tol = 0.05
+
+// trajConfigs are the placer configurations the trajectory compares. The
+// first three reproduce the paper's operator ablation: the DREAMPlace-style
+// autograd baseline, Xplace with operator combination (OC) disabled, and
+// full Xplace — the launch-count gap between the last two is the OC saving
+// (§3.1.1) made machine-checkable. The remaining four isolate the compute-
+// backend fast path: float32 precision alone, spectral truncation alone,
+// the adaptive bin grid alone, and all three together. Every config pins
+// its Backend explicitly so the record never depends on XPLACE_BACKEND.
 func trajConfigs() []struct {
 	name string
 	opts xplace.PlacementOptions
 } {
-	unfused := xplace.DefaultPlacement()
+	ref := func() xplace.PlacementOptions {
+		o := xplace.DefaultPlacement()
+		o.Backend = xplace.Float64Backend()
+		return o
+	}
+	base := xplace.BaselinePlacement()
+	base.Backend = xplace.Float64Backend()
+	unfused := ref()
 	unfused.OperatorCombination = false
+	f32 := xplace.DefaultPlacement()
+	f32.Backend = xplace.Float32Backend()
+	trunc := ref()
+	trunc.SpectralTruncation = true
+	adaptive := ref()
+	adaptive.AdaptiveGrid = true
+	fast := xplace.DefaultPlacement()
+	fast.Backend = xplace.Float32Backend()
+	fast.SpectralTruncation = true
+	fast.AdaptiveGrid = true
 	return []struct {
 		name string
 		opts xplace.PlacementOptions
 	}{
-		{"baseline", xplace.BaselinePlacement()},
+		{"baseline", base},
 		{"xplace-unfused", unfused},
-		{"xplace", xplace.DefaultPlacement()},
+		{"xplace", ref()},
+		{"xplace-f32", f32},
+		{"xplace-trunc", trunc},
+		{"xplace-adaptive", adaptive},
+		{"xplace-fast", fast},
 	}
 }
 
@@ -168,6 +217,7 @@ func benchTrajectory() {
 		rec.Runs = append(rec.Runs, xplace.BenchRun{
 			Config:     c.name,
 			Bench:      trajBench,
+			Backend:    opts.Backend.Name(),
 			Scale:      trajScale,
 			Seed:       *seed,
 			Workers:    trajWorkers,
@@ -194,7 +244,20 @@ func benchTrajectory() {
 				fused.Launches, unfused.Launches)
 			os.Exit(1)
 		}
+		// In-trajectory precision gate: the float32 fast path must track
+		// the float64 reference within trajF32Tol at the pinned iteration
+		// count, in both directions — large drift either way means the
+		// reduced-precision pipeline broke, not that it got lucky.
+		if f32, ok := rec.Run("xplace-f32"); ok {
+			if rel := abs(f32.HPWL-fused.HPWL) / fused.HPWL; rel > trajF32Tol {
+				fmt.Fprintf(os.Stderr, "xbench: float32 drift: HPWL %.6g vs float64 %.6g (%.1f%% > %.0f%%)\n",
+					f32.HPWL, fused.HPWL, rel*100, trajF32Tol*100)
+				os.Exit(1)
+			}
+		}
 	}
+
+	rec.Micro = poissonMicro()
 
 	if *jsonOut != "" {
 		fh, err := os.Create(*jsonOut)
@@ -231,6 +294,58 @@ func benchTrajectory() {
 		}
 		fmt.Printf("bench-smoke gate passed vs %s (tol %.0f%%)\n", *checkRec, *checkTol*100)
 	}
+}
+
+// poissonMicro times the 512-grid Poisson solve (the GP hot loop's
+// dominant spectral kernel) across the backend/truncation ablation:
+// float64 vs float32 element storage, full spectrum vs the early-stage
+// half-band truncation. Wall times are machine-dependent — the smoke gate
+// ignores them — but the ratios document where the fast path's time goes.
+func poissonMicro() []obs.BenchMicro {
+	const n = 512
+	var out []obs.BenchMicro
+	for _, be := range []xplace.ComputeBackend{xplace.Float64Backend(), xplace.Float32Backend()} {
+		e := kernel.New(kernel.Options{Workers: trajWorkers})
+		grid := geom.NewGrid(geom.Rect{Hx: 1, Hy: 1}, n, n)
+		s := field.NewSystemOn(grid, e, be)
+		for i := range s.Total {
+			s.Total[i] = float64(i%23)*0.07 - 0.5
+		}
+		for _, variant := range []string{"full", "truncated"} {
+			if variant == "truncated" {
+				s.SetTruncation(n/2, n/2)
+			}
+			s.SolvePoisson(e) // warm the plans and scratch
+			// Best of five 100ms windows: scheduler noise only ever slows a
+			// window down, so the minimum is the stable estimate.
+			ms := math.Inf(1)
+			for w := 0; w < 5; w++ {
+				reps := 0
+				start := time.Now()
+				for time.Since(start) < 100*time.Millisecond {
+					s.SolvePoisson(e)
+					reps++
+				}
+				if v := float64(time.Since(start).Microseconds()) / 1000 / float64(reps); v < ms {
+					ms = v
+				}
+			}
+			out = append(out, obs.BenchMicro{
+				Name: "poisson512", Backend: be.Name(), Variant: variant, Grid: n, MS: ms,
+			})
+			fmt.Printf("%-16s %s/%s  %.2f ms/solve\n", "poisson512", be.Name(), variant, ms)
+		}
+		s.Release(e)
+		e.Close()
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // --------------------------------------------------------------- spectral

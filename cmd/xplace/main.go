@@ -33,6 +33,7 @@ func main() {
 		lef       = flag.String("lef", "", "LEF cell library (required for DEF inputs)")
 		aux       = flag.String("aux", "", "bookshelf .aux input file (deprecated alias of -in)")
 		mode      = flag.String("mode", "xplace", "GP engine: xplace | baseline | xplace-nn")
+		backendN  = flag.String("backend", "", "compute backend: float64 (exact reference) | float32 (fast path); default follows XPLACE_BACKEND")
 		legalizer = flag.String("legalizer", "tetris", "legalizer: tetris | abacus")
 		grid      = flag.Int("grid", 0, "density grid size (power of two, 0 = auto)")
 		maxIter   = flag.Int("max-iter", 0, "GP iteration cap (0 = default)")
@@ -90,6 +91,14 @@ func main() {
 	eng := xplace.NewEngine(*workers, -1)
 	var tr *xplace.Tracer
 	sopts := []xplace.Option{xplace.WithEngine(eng)}
+	if *backendN != "" {
+		bopt, err := xplace.WithBackendName(*backendN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(2)
+		}
+		sopts = append(sopts, bopt)
+	}
 	if *trace != "" {
 		tr = xplace.NewTracer()
 		sopts = append(sopts, xplace.WithTracer(tr))

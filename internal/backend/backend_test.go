@@ -1,0 +1,156 @@
+package backend
+
+import (
+	"math"
+	"testing"
+
+	"xplace/internal/kernel"
+)
+
+// TestRegistryLookup: both backends are registered, lookup works by name,
+// empty name resolves to the default, unknown names error.
+func TestRegistryLookup(t *testing.T) {
+	for _, name := range []string{"float64", "float32"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, b.Name())
+		}
+	}
+	if _, err := Lookup("float16"); err == nil {
+		t.Fatal("Lookup of unknown backend succeeded")
+	}
+	if b, _ := Lookup(""); b == nil {
+		t.Fatal("Lookup(\"\") returned nil")
+	}
+	if got := Names(); len(got) < 2 {
+		t.Fatalf("Names() = %v, want at least float32+float64", got)
+	}
+}
+
+// TestEnvDefault: XPLACE_BACKEND selects the process default; Resolve maps
+// nil through it and explicit backends pass unchanged.
+func TestEnvDefault(t *testing.T) {
+	t.Setenv(EnvVar, "float32")
+	if got := Default().Name(); got != "float32" {
+		t.Fatalf("Default() under env = %q, want float32", got)
+	}
+	if got := Resolve(nil).Name(); got != "float32" {
+		t.Fatalf("Resolve(nil) under env = %q, want float32", got)
+	}
+	if got := Resolve(Float64()).Name(); got != "float64" {
+		t.Fatalf("Resolve(Float64()) = %q, want float64", got)
+	}
+	t.Setenv(EnvVar, "bogus")
+	if got := Default().Name(); got != "float64" {
+		t.Fatalf("Default() under unknown env = %q, want reference", got)
+	}
+}
+
+// TestIsReference: nil and the float64 backend are the reference; float32
+// is not.
+func TestIsReference(t *testing.T) {
+	if !IsReference(nil) || !IsReference(Float64()) {
+		t.Fatal("nil / Float64() should be the reference backend")
+	}
+	if IsReference(Float32()) {
+		t.Fatal("Float32() must not count as the reference backend")
+	}
+}
+
+// TestBufAllocRoundTrip: Alloc returns a zeroed buffer of the backend's
+// element type against the engine arena; Free returns every byte.
+func TestBufAllocRoundTrip(t *testing.T) {
+	e := kernel.New(kernel.Options{Workers: 2})
+	defer e.Close()
+	for _, b := range []Backend{Float64(), Float32()} {
+		buf := b.Alloc(e, 1024)
+		if buf.Len() != 1024 {
+			t.Fatalf("%s: Len = %d", b.Name(), buf.Len())
+		}
+		if st := e.ArenaStats(); st.InUse != int64(b.ElemBytes())*1024 {
+			t.Fatalf("%s: InUse = %d, want %d", b.Name(), st.InUse, b.ElemBytes()*1024)
+		}
+		if (b.Name() == "float64") != (buf.Float64() != nil) {
+			t.Fatalf("%s: wrong populated view", b.Name())
+		}
+		b.Free(e, buf)
+		if st := e.ArenaStats(); st.InUse != 0 {
+			t.Fatalf("%s: InUse after free = %d", b.Name(), st.InUse)
+		}
+	}
+}
+
+// TestVecBodiesParity: every standard elementwise body computes the same
+// values on both backends (within float32 rounding), through Bind + Run.
+func TestVecBodiesParity(t *testing.T) {
+	const n = 257 // odd, not a power of two
+	src := make([]float64, n)
+	add := make([]float64, n)
+	for i := range src {
+		src[i] = math.Sin(float64(i)*0.37) * 3
+		add[i] = math.Cos(float64(i) * 0.11)
+	}
+	const s = 1.75
+
+	want := map[string][]float64{
+		"vec.copy": src, "vec.scale": nil, "vec.add": nil, "vec.axpby": nil,
+	}
+	want["vec.scale"] = make([]float64, n)
+	want["vec.add"] = make([]float64, n)
+	want["vec.axpby"] = make([]float64, n)
+	for i := 0; i < n; i++ {
+		want["vec.scale"][i] = s * src[i]
+		want["vec.add"][i] = src[i] + add[i]
+		want["vec.axpby"][i] = src[i] + s*add[i]
+	}
+
+	e := kernel.New(kernel.Options{Workers: 2})
+	defer e.Close()
+	for _, b := range []Backend{Float64(), Float32()} {
+		tol := 0.0
+		if b.Name() == "float32" {
+			tol = 1e-6
+		}
+		// Load src/add across the boundary once.
+		a := b.Alloc(e, n)
+		bb := b.Alloc(e, n)
+		ld := b.Kernels().Make("cvt.load")
+		ld.Bind(a, WrapF64(src), Buf{}, 0)
+		ld.Run(0, n)
+		ld.Bind(bb, WrapF64(add), Buf{}, 0)
+		ld.Run(0, n)
+
+		dst := b.Alloc(e, n)
+		out := make([]float64, n)
+		st := b.Kernels().Make("cvt.store")
+		for name, exp := range want {
+			body := b.Kernels().Make(name)
+			body.Bind(dst, a, bb, s)
+			body.Run(0, n)
+			st.Bind(WrapF64(out), dst, Buf{}, 0)
+			st.Run(0, n)
+			for i := 0; i < n; i++ {
+				if d := math.Abs(out[i] - exp[i]); d > tol*(1+math.Abs(exp[i])) {
+					t.Fatalf("%s/%s: out[%d] = %g, want %g", b.Name(), name, i, out[i], exp[i])
+				}
+			}
+		}
+		b.Free(e, a)
+		b.Free(e, bb)
+		b.Free(e, dst)
+	}
+}
+
+// TestKernelsUnknownBodyPanics: asking for an unregistered body is a
+// programming error.
+func TestKernelsUnknownBodyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Make of unknown body did not panic")
+		}
+	}()
+	Float64().Kernels().Make("vec.nonsense")
+}

@@ -1,0 +1,102 @@
+package backend
+
+import "xplace/internal/kernel"
+
+// f32Backend is the reduced-precision fast path: buffers are float32 (half
+// the memory traffic of the reference backend through cache-bound kernels)
+// and bodies are written as contiguous FMA-shaped loops — one multiply-add
+// per element over dense slices, the form the compiler turns into packed
+// vector code. The density-equalization field tolerates the precision loss
+// (FFTPL's observation); exactness-sensitive results are gated by the
+// tolerance-banded goldens instead of the bit-identical determinism tests.
+type f32Backend struct {
+	kernels *Kernels
+}
+
+var fast = newF32()
+
+func newF32() *f32Backend {
+	b := &f32Backend{kernels: NewKernels()}
+	k := b.kernels
+	k.Register("vec.copy", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			copy(p.dst[lo:hi], p.a[lo:hi])
+		}}
+	})
+	k.Register("vec.scale", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			dst, a, s := p.dst, p.a, p.s
+			for i := lo; i < hi; i++ {
+				dst[i] = s * a[i]
+			}
+		}}
+	})
+	k.Register("vec.add", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			dst, a, bb := p.dst, p.a, p.b
+			for i := lo; i < hi; i++ {
+				dst[i] = a[i] + bb[i]
+			}
+		}}
+	})
+	k.Register("vec.axpby", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			dst, a, bb, s := p.dst, p.a, p.b, p.s
+			for i := lo; i < hi; i++ {
+				dst[i] = a[i] + s*bb[i]
+			}
+		}}
+	})
+	k.Register("cvt.load", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			dst, src := p.dst, p.a64
+			for i := lo; i < hi; i++ {
+				dst[i] = float32(src[i])
+			}
+		}}
+	})
+	k.Register("cvt.store", func() VecBody {
+		var p f32Params
+		return VecBody{Bind: p.bind, Run: func(lo, hi int) {
+			dst, src := p.dst64, p.a
+			for i := lo; i < hi; i++ {
+				dst[i] = float64(src[i])
+			}
+		}}
+	})
+	return b
+}
+
+// f32Params is the staged parameter block shared by the fast-path bodies.
+// The float64 views are populated alongside the float32 ones so the cvt.*
+// bodies can cross the boundary without a separate bind shape.
+type f32Params struct {
+	dst, a, b  []float32
+	dst64, a64 []float64
+	s          float32
+}
+
+func (p *f32Params) bind(dst, a, b Buf, s float64) {
+	p.dst, p.a, p.b = dst.f32, a.f32, b.f32
+	p.dst64, p.a64 = dst.f64, a.f64
+	p.s = float32(s)
+}
+
+func (b *f32Backend) Name() string      { return "float32" }
+func (b *f32Backend) ElemBytes() int    { return 4 }
+func (b *f32Backend) Kernels() *Kernels { return b.kernels }
+
+func (b *f32Backend) Alloc(e *kernel.Engine, n int) Buf {
+	return Buf{f32: e.Alloc32(n)}
+}
+
+func (b *f32Backend) Free(e *kernel.Engine, buf Buf) {
+	if buf.f32 != nil {
+		e.Free32(buf.f32)
+	}
+}

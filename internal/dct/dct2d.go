@@ -75,6 +75,7 @@ type Plan struct {
 	// Batched field-evaluation parameters.
 	coefIn, sx, sy       []float64
 	dstPsi, dstEx, dstEy []float64
+	rowCut               int // field-eval rows >= rowCut are known-zero; 0 = full
 
 	rowsBody, colsBody           func(chunk, start, end int)
 	fieldRowsBody, fieldColsBody func(chunk, start, end int)
@@ -115,6 +116,27 @@ func NewPlanV1(nx, ny int) *Plan { return newPlan(nx, ny, 1) }
 
 // Version reports the spectral engine revision (1 or 2) behind this plan.
 func (p *Plan) Version() int { return p.version }
+
+// SetFieldRowCutoff declares that the caller zeroes every field-evaluation
+// coefficient with row index v >= ky before calling EvalPotentialField, so
+// a v2 plan's rows pass may skip transforming those rows (a zero row
+// transforms to exactly zero, so the skip is bit-identical to evaluating
+// the truncated spectrum in full). ky <= 0 or ky >= Ny restores the full
+// evaluation; v1 plans ignore the cutoff. Sticky until changed.
+func (p *Plan) SetFieldRowCutoff(ky int) {
+	p.mu.Lock()
+	if ky <= 0 || ky >= p.Ny {
+		ky = 0
+	}
+	p.rowCut = ky
+	p.mu.Unlock()
+}
+
+func zeroRow(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
 
 func newPlan(nx, ny, version int) *Plan {
 	if nx <= 0 || ny <= 0 || nx&(nx-1) != 0 || ny&(ny-1) != 0 {
@@ -268,6 +290,15 @@ func (p *Plan) buildFieldBodies() {
 		scratch := p.scratch[chunk]
 		srow := p.rowReal[chunk][:nx]
 		for v := lo; v < hi; v++ {
+			if p.rowCut > 0 && v >= p.rowCut {
+				// Mode truncation: the caller zeroed this whole coefficient
+				// row, and the half-sample series of a zero row is zero —
+				// two memsets replace two inverse FFTs (real-even symmetry
+				// means no other row depends on this one).
+				zeroRow(p.tmp[v*nx : (v+1)*nx])
+				zeroRow(p.tmp2[v*nx : (v+1)*nx])
+				continue
+			}
 			row := p.coefIn[v*nx : (v+1)*nx]
 			evalMakhoul(row, p.tmp[v*nx:(v+1)*nx], nil, p.rowFull, scratch, p.cosHx, p.sinHx)
 			for u := 0; u < nx; u++ {

@@ -1,0 +1,182 @@
+package field
+
+import (
+	"math"
+	"testing"
+
+	"xplace/internal/backend"
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+	"xplace/internal/netlist"
+)
+
+func newSys32(nx, ny int, e *kernel.Engine) *System {
+	return NewSystemOn(geom.NewGrid(geom.Rect{Hx: float64(nx), Hy: float64(ny)}, nx, ny), e, backend.Float32())
+}
+
+// clusterDesign builds a dense cluster plus spread probes — enough density
+// structure that the solve produces non-trivial fields everywhere.
+func clusterDesign(t *testing.T, s *System) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("f32", s.Grid.Region)
+	for i := 0; i < 24; i++ {
+		d.AddCell("c", 2, 2, 8+float64(i%3), 16+float64(i%5), netlist.Movable)
+	}
+	d.AddCell("p1", 1, 1, 24, 16, netlist.Movable)
+	d.AddCell("p2", 1.5, 1, 16, 24, netlist.Movable)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestFloat32SystemMatchesReference is the tolerance-banded field golden:
+// scatter, solve and gather on the float32 backend track the reference
+// system within float32 rounding of the field magnitude.
+func TestFloat32SystemMatchesReference(t *testing.T) {
+	e := eng()
+	defer e.Close()
+	nx, ny := 32, 32
+	ref := newSys(nx, ny, e)
+	fast := newSys32(nx, ny, e)
+	if fast.Backend() == nil || fast.Backend().Name() != "float32" {
+		t.Fatal("system did not adopt the float32 backend")
+	}
+	d := clusterDesign(t, fast)
+
+	ref.ScatterDensity(e, d, nil, nil, MaskMovable, ref.Total, "s64")
+	fast.ScatterDensity(e, d, nil, nil, MaskMovable, fast.Total, "s32")
+	e64 := ref.SolvePoisson(e)
+	e32 := fast.SolvePoisson(e)
+
+	var maxMag float64
+	for i := range ref.Psi {
+		for _, v := range [3]float64{ref.Psi[i], ref.Ex[i], ref.Ey[i]} {
+			if a := math.Abs(v); a > maxMag {
+				maxMag = a
+			}
+		}
+	}
+	const tol = 1e-5
+	for i := range ref.Psi {
+		if d := math.Abs(fast.Total[i] - ref.Total[i]); d > tol*(1+ref.Total[i]) {
+			t.Fatalf("Total[%d] = %v, ref %v", i, fast.Total[i], ref.Total[i])
+		}
+		if d := math.Abs(fast.Psi[i] - ref.Psi[i]); d > tol*maxMag {
+			t.Fatalf("Psi[%d] = %v, ref %v", i, fast.Psi[i], ref.Psi[i])
+		}
+		if d := math.Abs(fast.Ex[i] - ref.Ex[i]); d > tol*maxMag {
+			t.Fatalf("Ex[%d] = %v, ref %v", i, fast.Ex[i], ref.Ex[i])
+		}
+		if d := math.Abs(fast.Ey[i] - ref.Ey[i]); d > tol*maxMag {
+			t.Fatalf("Ey[%d] = %v, ref %v", i, fast.Ey[i], ref.Ey[i])
+		}
+	}
+	if rel := math.Abs(e32-e64) / math.Max(math.Abs(e64), 1e-12); rel > tol {
+		t.Errorf("energy %v vs reference %v (rel %g)", e32, e64, rel)
+	}
+
+	// Gather reads the converted float64 maps, so gradients band too.
+	gx64 := make([]float64, d.NumCells())
+	gy64 := make([]float64, d.NumCells())
+	gx32 := make([]float64, d.NumCells())
+	gy32 := make([]float64, d.NumCells())
+	ref.GatherField(e, d, nil, nil, MaskMovable, gx64, gy64)
+	fast.GatherField(e, d, nil, nil, MaskMovable, gx32, gy32)
+	var maxG float64
+	for i := range gx64 {
+		maxG = math.Max(maxG, math.Max(math.Abs(gx64[i]), math.Abs(gy64[i])))
+	}
+	for i := range gx64 {
+		if math.Abs(gx32[i]-gx64[i]) > tol*maxG || math.Abs(gy32[i]-gy64[i]) > tol*maxG {
+			t.Fatalf("grad[%d] = (%v,%v), ref (%v,%v)", i, gx32[i], gy32[i], gx64[i], gy64[i])
+		}
+	}
+}
+
+// TestFloat32SystemRelease: the reduced-precision solve checks its element
+// buffers out of the engine arena and Release returns every byte, twice.
+func TestFloat32SystemRelease(t *testing.T) {
+	e := eng()
+	defer e.Close()
+	s := newSys32(16, 16, e)
+	base := e.ArenaStats().InUse
+	for i := range s.Total {
+		s.Total[i] = float64(i%7) * 0.3
+	}
+	s.SolvePoisson(e)
+	if got := e.ArenaStats().InUse; got <= base {
+		t.Fatalf("solve should hold arena bytes, InUse = %d (base %d)", got, base)
+	}
+	s.Release(e)
+	if got := e.ArenaStats().InUse; got != base {
+		t.Fatalf("InUse after Release = %d, want %d", got, base)
+	}
+	s.Release(e) // idempotent
+	if got := e.ArenaStats().InUse; got != base {
+		t.Fatalf("InUse after second Release = %d, want %d", got, base)
+	}
+	// The system stays usable after Release.
+	s.SolvePoisson(e)
+	s.Release(e)
+}
+
+// TestTruncationKeepsLowModes: with kx/ky at half band, a pure low-mode
+// density is solved exactly (its spectrum is untouched) on both backends,
+// while truncation plus the row cutoff produce identical results to
+// manually zeroing the high modes.
+func TestTruncationKeepsLowModes(t *testing.T) {
+	nx, ny := 32, 32
+	u, v := 3, 5 // below the half-band cutoff
+	wu := math.Pi * float64(u) / float64(nx)
+	wv := math.Pi * float64(v) / float64(ny)
+	fill := func(s *System) {
+		for yy := 0; yy < ny; yy++ {
+			for xx := 0; xx < nx; xx++ {
+				s.Total[yy*nx+xx] = math.Cos(wu*(float64(xx)+0.5)) * math.Cos(wv*(float64(yy)+0.5))
+			}
+		}
+	}
+	for _, mode := range []string{"float64", "float32"} {
+		t.Run(mode, func(t *testing.T) {
+			e := eng()
+			defer e.Close()
+			mk := func() *System {
+				if mode == "float32" {
+					return newSys32(nx, ny, e)
+				}
+				return newSys(nx, ny, e)
+			}
+			full, cut := mk(), mk()
+			fill(full)
+			fill(cut)
+			cut.SetTruncation(nx/2, ny/2)
+			full.SolvePoisson(e)
+			cut.SolvePoisson(e)
+			tol := 1e-9
+			if mode == "float32" {
+				tol = 1e-4
+			}
+			den := wu*wu + wv*wv
+			for i := range cut.Psi {
+				if math.Abs(cut.Psi[i]-full.Total[i]/den) > tol {
+					t.Fatalf("truncated psi[%d] = %v, want %v", i, cut.Psi[i], full.Total[i]/den)
+				}
+				if math.Abs(cut.Psi[i]-full.Psi[i]) > tol {
+					t.Fatalf("truncated psi[%d] = %v, full %v", i, cut.Psi[i], full.Psi[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSetTruncationClamps: out-of-range cutoffs disable truncation.
+func TestSetTruncationClamps(t *testing.T) {
+	e := eng()
+	defer e.Close()
+	s := newSys(8, 8, e)
+	s.SetTruncation(-1, 99)
+	if s.truncKx != 0 || s.truncKy != 0 {
+		t.Fatalf("clamped truncation = %d,%d, want 0,0", s.truncKx, s.truncKy)
+	}
+}

@@ -8,20 +8,26 @@ import (
 
 // Arena is a size-class pooling allocator for kernel scratch buffers — the
 // "device memory allocator" of the substitution map (DESIGN.md §2). Hot
-// operators check buffers out with Alloc/AllocComplex and return them with
-// Free/FreeComplex instead of calling make() inside the per-iteration loop,
-// so steady-state GP iterations perform no Go heap allocations: after
+// operators check buffers out with Alloc/AllocComplex (and the float32 /
+// complex64 variants the reduced-precision backend uses) and return them
+// with the matching Free instead of calling make() inside the per-iteration
+// loop, so steady-state GP iterations perform no Go heap allocations: after
 // warm-up every checkout is served from a free list (a "hit").
 //
-// Buffers are bucketed by power-of-two capacity. Alloc returns a zeroed
+// Buffers are bucketed by power-of-two capacity, with one free-list family
+// per element type; byte accounting is element-size-aware (4 bytes per
+// float32, 8 per float64 or complex64, 16 per complex128), so InUse/Pooled/
+// Peak stay exact under mixed-precision workloads. Alloc returns a zeroed
 // slice of exactly the requested length; Free buckets by capacity, so
 // foreign slices (not obtained from the arena) may be donated as long as
 // their capacity is meaningful. An Arena is safe for concurrent use.
 type Arena struct {
-	mu sync.Mutex
-	f  [arenaClasses][][]float64
-	c  [arenaClasses][][]complex128
-	st ArenaStats
+	mu  sync.Mutex
+	f   [arenaClasses][][]float64
+	c   [arenaClasses][][]complex128
+	f32 [arenaClasses][][]float32
+	c64 [arenaClasses][][]complex64
+	st  ArenaStats
 	// limit overrides the pooled-class bound when non-zero (tests lower it
 	// to exercise the unpooled path without gigabyte allocations).
 	limit int
@@ -40,8 +46,8 @@ func (a *Arena) poolLimit() int {
 }
 
 // ArenaStats is a snapshot of an Arena's accounting. Byte counts are in
-// class-capacity units (the pooled power-of-two size, 8 bytes per float64
-// and 16 per complex128).
+// class-capacity units (the pooled power-of-two size times the element
+// width: 4 bytes per float32, 8 per float64/complex64, 16 per complex128).
 type ArenaStats struct {
 	Hits   int64 // checkouts served from a free list
 	Misses int64 // checkouts that had to allocate fresh memory
@@ -79,55 +85,58 @@ func capClass(c int) int {
 	return bits.Len(uint(c)) - 1
 }
 
-// Alloc checks out a zeroed []float64 of length n. Requests above the
-// largest pooled class are allocated at exact capacity (no power-of-two
-// rounding, which would waste up to 2x memory on huge buffers and overflow
-// 1<<cls near the int limit) and accounted at their actual byte size.
-func (a *Arena) Alloc(n int) []float64 {
+// arenaAlloc checks a zeroed []T of length n out of the free-list family
+// lists, accounting elemBytes per element. Requests above the largest
+// pooled class are allocated at exact capacity (no power-of-two rounding,
+// which would waste up to 2x memory on huge buffers and overflow 1<<cls
+// near the int limit) and accounted at their actual byte size.
+func arenaAlloc[T any](a *Arena, lists *[arenaClasses][][]T, elemBytes int64, n int) []T {
 	if n < 0 {
-		panic(fmt.Sprintf("kernel: Arena.Alloc(%d)", n))
+		panic(fmt.Sprintf("kernel: arena alloc of %d elements", n))
 	}
 	cls := sizeClass(n)
 	a.mu.Lock()
 	if cls >= a.poolLimit() {
 		a.st.Misses++
-		a.st.InUse += 8 * int64(n)
+		a.st.InUse += elemBytes * int64(n)
 		if a.st.InUse > a.st.Peak {
 			a.st.Peak = a.st.InUse
 		}
 		a.mu.Unlock()
-		return make([]float64, n)
+		return make([]T, n)
 	}
-	var buf []float64
-	if len(a.f[cls]) > 0 {
-		last := len(a.f[cls]) - 1
-		buf = a.f[cls][last]
-		a.f[cls][last] = nil
-		a.f[cls] = a.f[cls][:last]
+	var buf []T
+	if len(lists[cls]) > 0 {
+		last := len(lists[cls]) - 1
+		buf = lists[cls][last]
+		lists[cls][last] = nil
+		lists[cls] = lists[cls][:last]
 		a.st.Hits++
-		a.st.Pooled -= 8 << cls
+		a.st.Pooled -= elemBytes << cls
 	} else {
 		a.st.Misses++
 	}
-	a.st.InUse += 8 << cls
+	a.st.InUse += elemBytes << cls
 	if a.st.InUse > a.st.Peak {
 		a.st.Peak = a.st.InUse
 	}
 	a.mu.Unlock()
 	if buf == nil {
-		return make([]float64, n, 1<<cls)
+		return make([]T, n, 1<<cls)
 	}
 	buf = buf[:n]
+	var zero T
 	for i := range buf {
-		buf[i] = 0
+		buf[i] = zero
 	}
 	return buf
 }
 
-// Free returns a float64 buffer to the arena. Freeing nil is a no-op.
-// Unpooled-size buffers are accounted at actual capacity; InUse never goes
-// negative even when a foreign (never-checked-out) slice is donated.
-func (a *Arena) Free(buf []float64) {
+// arenaFree returns a buffer to its free-list family. Freeing nil is a
+// no-op. Unpooled-size buffers are accounted at actual capacity; InUse
+// never goes negative even when a foreign (never-checked-out) slice is
+// donated.
+func arenaFree[T any](a *Arena, lists *[arenaClasses][][]T, elemBytes int64, buf []T) {
 	if cap(buf) == 0 {
 		return
 	}
@@ -135,11 +144,11 @@ func (a *Arena) Free(buf []float64) {
 	a.mu.Lock()
 	a.st.Frees++
 	if cls >= a.poolLimit() {
-		a.st.InUse -= 8 * int64(cap(buf))
+		a.st.InUse -= elemBytes * int64(cap(buf))
 	} else {
-		a.st.InUse -= 8 << cls
-		a.f[cls] = append(a.f[cls], buf[:0])
-		a.st.Pooled += 8 << cls
+		a.st.InUse -= elemBytes << cls
+		lists[cls] = append(lists[cls], buf[:0])
+		a.st.Pooled += elemBytes << cls
 	}
 	if a.st.InUse < 0 {
 		a.st.InUse = 0
@@ -147,69 +156,31 @@ func (a *Arena) Free(buf []float64) {
 	a.mu.Unlock()
 }
 
-// AllocComplex checks out a zeroed []complex128 of length n. Like Alloc,
-// unpooled-size requests get exact capacity and actual-byte accounting.
-func (a *Arena) AllocComplex(n int) []complex128 {
-	if n < 0 {
-		panic(fmt.Sprintf("kernel: Arena.AllocComplex(%d)", n))
-	}
-	cls := sizeClass(n)
-	a.mu.Lock()
-	if cls >= a.poolLimit() {
-		a.st.Misses++
-		a.st.InUse += 16 * int64(n)
-		if a.st.InUse > a.st.Peak {
-			a.st.Peak = a.st.InUse
-		}
-		a.mu.Unlock()
-		return make([]complex128, n)
-	}
-	var buf []complex128
-	if len(a.c[cls]) > 0 {
-		last := len(a.c[cls]) - 1
-		buf = a.c[cls][last]
-		a.c[cls][last] = nil
-		a.c[cls] = a.c[cls][:last]
-		a.st.Hits++
-		a.st.Pooled -= 16 << cls
-	} else {
-		a.st.Misses++
-	}
-	a.st.InUse += 16 << cls
-	if a.st.InUse > a.st.Peak {
-		a.st.Peak = a.st.InUse
-	}
-	a.mu.Unlock()
-	if buf == nil {
-		return make([]complex128, n, 1<<cls)
-	}
-	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
-	return buf
-}
+// Alloc checks out a zeroed []float64 of length n.
+func (a *Arena) Alloc(n int) []float64 { return arenaAlloc(a, &a.f, 8, n) }
+
+// Free returns a float64 buffer to the arena.
+func (a *Arena) Free(buf []float64) { arenaFree(a, &a.f, 8, buf) }
+
+// AllocComplex checks out a zeroed []complex128 of length n.
+func (a *Arena) AllocComplex(n int) []complex128 { return arenaAlloc(a, &a.c, 16, n) }
 
 // FreeComplex returns a complex128 buffer to the arena.
-func (a *Arena) FreeComplex(buf []complex128) {
-	if cap(buf) == 0 {
-		return
-	}
-	cls := capClass(cap(buf))
-	a.mu.Lock()
-	a.st.Frees++
-	if cls >= a.poolLimit() {
-		a.st.InUse -= 16 * int64(cap(buf))
-	} else {
-		a.st.InUse -= 16 << cls
-		a.c[cls] = append(a.c[cls], buf[:0])
-		a.st.Pooled += 16 << cls
-	}
-	if a.st.InUse < 0 {
-		a.st.InUse = 0
-	}
-	a.mu.Unlock()
-}
+func (a *Arena) FreeComplex(buf []complex128) { arenaFree(a, &a.c, 16, buf) }
+
+// Alloc32 checks out a zeroed []float32 of length n (the reduced-precision
+// backend's element type; accounted at 4 bytes per element).
+func (a *Arena) Alloc32(n int) []float32 { return arenaAlloc(a, &a.f32, 4, n) }
+
+// Free32 returns a float32 buffer to the arena.
+func (a *Arena) Free32(buf []float32) { arenaFree(a, &a.f32, 4, buf) }
+
+// AllocComplex64 checks out a zeroed []complex64 of length n (8 bytes per
+// element).
+func (a *Arena) AllocComplex64(n int) []complex64 { return arenaAlloc(a, &a.c64, 8, n) }
+
+// FreeComplex64 returns a complex64 buffer to the arena.
+func (a *Arena) FreeComplex64(buf []complex64) { arenaFree(a, &a.c64, 8, buf) }
 
 // Stats returns a snapshot of the arena accounting.
 func (a *Arena) Stats() ArenaStats {
@@ -235,6 +206,12 @@ func (a *Arena) release() {
 	}
 	for i := range a.c {
 		a.c[i] = nil
+	}
+	for i := range a.f32 {
+		a.f32[i] = nil
+	}
+	for i := range a.c64 {
+		a.c64[i] = nil
 	}
 	a.st.Pooled = 0
 	a.mu.Unlock()

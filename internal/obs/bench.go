@@ -15,20 +15,23 @@ const BenchSchema = "xplace-bench/1"
 
 // BenchRecord is the machine-readable outcome of one `xbench -json`
 // bench-trajectory run: a set of BenchRun entries (one per placer
-// configuration) over the same design/seed, comparable across commits.
-// Checked-in BENCH_*.json files are instances of this schema and back the
-// CI bench-smoke regression gate.
+// configuration) over the same design/seed, comparable across commits,
+// plus an optional Micro section of kernel-level timings (the Poisson
+// solve ablation). Checked-in BENCH_*.json files are instances of this
+// schema and back the CI bench-smoke regression gate.
 type BenchRecord struct {
-	Schema    string     `json:"schema"`
-	CreatedAt string     `json:"created_at,omitempty"` // RFC 3339
-	Note      string     `json:"note,omitempty"`
-	Runs      []BenchRun `json:"runs"`
+	Schema    string       `json:"schema"`
+	CreatedAt string       `json:"created_at,omitempty"` // RFC 3339
+	Note      string       `json:"note,omitempty"`
+	Runs      []BenchRun   `json:"runs"`
+	Micro     []BenchMicro `json:"micro,omitempty"`
 }
 
 // BenchRun is one placement run's record.
 type BenchRun struct {
 	Config     string  `json:"config"` // e.g. "baseline", "xplace-unfused", "xplace"
 	Bench      string  `json:"bench"`
+	Backend    string  `json:"backend,omitempty"` // compute backend ("" = reference float64)
 	Scale      float64 `json:"scale"`
 	Seed       int64   `json:"seed"`
 	Workers    int     `json:"workers"`
@@ -41,6 +44,19 @@ type BenchRun struct {
 	Launches   int64   `json:"launches"`
 	Syncs      int64   `json:"syncs"`
 	ArenaPeak  int64   `json:"arena_peak_bytes"`
+}
+
+// BenchMicro is one kernel-level micro timing: a named operation (e.g.
+// "poisson512") under one backend/variant, in wall milliseconds per call.
+// Micro timings are machine-dependent, so the smoke gate never compares
+// them — they document the measured precision/truncation ablation next to
+// the trajectory it explains.
+type BenchMicro struct {
+	Name    string  `json:"name"`
+	Backend string  `json:"backend"`
+	Variant string  `json:"variant,omitempty"` // e.g. "full", "truncated"
+	Grid    int     `json:"grid,omitempty"`
+	MS      float64 `json:"ms"` // wall milliseconds per call
 }
 
 // Validate checks the record's required fields: schema tag, at least one
@@ -65,6 +81,16 @@ func (r BenchRecord) Validate() error {
 			return fmt.Errorf("obs: run %d (%s) hpwl = %v", i, run.Config, run.HPWL)
 		case run.Launches <= 0:
 			return fmt.Errorf("obs: run %d (%s) launches = %d", i, run.Config, run.Launches)
+		}
+	}
+	for i, m := range r.Micro {
+		switch {
+		case m.Name == "":
+			return fmt.Errorf("obs: micro %d missing name", i)
+		case m.Backend == "":
+			return fmt.Errorf("obs: micro %d (%s) missing backend", i, m.Name)
+		case m.MS <= 0 || math.IsNaN(m.MS) || math.IsInf(m.MS, 0):
+			return fmt.Errorf("obs: micro %d (%s) ms = %v", i, m.Name, m.MS)
 		}
 	}
 	return nil
@@ -104,10 +130,13 @@ func ReadBenchRecord(rd io.Reader) (BenchRecord, error) {
 
 // CompareBenchRecords is the bench-smoke regression gate: every run in
 // baseline must exist in current (matched by config+bench), and the
-// current HPWL must not exceed the baseline's by more than tol
-// (e.g. 0.05 for 5%). Launch counts must match exactly for configs with
-// the same launch-overhead setting — a changed launch count is a changed
-// operator schedule and must be re-baselined deliberately, not absorbed.
+// current HPWL must stay within the relative tolerance of the baseline's
+// in BOTH directions — |got-want|/want <= tol (e.g. 0.05 for 5%). An
+// unexpectedly better HPWL is also a changed trajectory: on the pinned
+// bit-identical configs it means the numerics drifted, and the baseline
+// must be re-recorded deliberately, not absorbed. Launch counts must match
+// exactly for configs with the same launch-overhead setting — a changed
+// launch count is a changed operator schedule.
 func CompareBenchRecords(baseline, current BenchRecord, tol float64) error {
 	var errs []error
 	for _, want := range baseline.Runs {
@@ -116,9 +145,9 @@ func CompareBenchRecords(baseline, current BenchRecord, tol float64) error {
 			errs = append(errs, fmt.Errorf("config %q (bench %s) missing from current record", want.Config, want.Bench))
 			continue
 		}
-		if got.HPWL > want.HPWL*(1+tol) {
-			errs = append(errs, fmt.Errorf("config %q: HPWL %.6g regressed >%.0f%% over baseline %.6g",
-				want.Config, got.HPWL, tol*100, want.HPWL))
+		if rel := math.Abs(got.HPWL-want.HPWL) / want.HPWL; rel > tol {
+			errs = append(errs, fmt.Errorf("config %q: HPWL %.6g drifted %.1f%% from baseline %.6g (tol %.0f%%)",
+				want.Config, got.HPWL, rel*100, want.HPWL, tol*100))
 		}
 		if got.Iterations == want.Iterations && got.Launches != want.Launches {
 			errs = append(errs, fmt.Errorf("config %q: %d launches in %d iters, baseline %d — operator schedule changed",

@@ -280,6 +280,15 @@ func TestBenchRecordValidation(t *testing.T) {
 		{"zero iterations", func(r *BenchRecord) { r.Runs[0].Iterations = 0 }},
 		{"bad hpwl", func(r *BenchRecord) { r.Runs[0].HPWL = 0 }},
 		{"zero launches", func(r *BenchRecord) { r.Runs[0].Launches = 0 }},
+		{"micro missing name", func(r *BenchRecord) {
+			r.Micro = []BenchMicro{{Backend: "float32", MS: 1.5}}
+		}},
+		{"micro missing backend", func(r *BenchRecord) {
+			r.Micro = []BenchMicro{{Name: "poisson512", MS: 1.5}}
+		}},
+		{"micro bad ms", func(r *BenchRecord) {
+			r.Micro = []BenchMicro{{Name: "poisson512", Backend: "float32", MS: 0}}
+		}},
 	}
 	for _, tc := range cases {
 		rec := benchRecordFixture()
@@ -307,6 +316,13 @@ func TestCompareBenchRecords(t *testing.T) {
 	cur.Runs[1].HPWL *= 1.10
 	if err := CompareBenchRecords(base, cur, 0.05); err == nil {
 		t.Fatal("10% HPWL regression passed a 5% gate")
+	}
+	// The gate is bidirectional: an unexpectedly BETTER HPWL beyond
+	// tolerance is numeric drift on a pinned config and fails too.
+	cur = benchRecordFixture()
+	cur.Runs[1].HPWL *= 0.90
+	if err := CompareBenchRecords(base, cur, 0.05); err == nil {
+		t.Fatal("10% HPWL improvement passed a 5% drift gate")
 	}
 	// A changed launch count at equal iterations fails (operator schedule
 	// drifted).

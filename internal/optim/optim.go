@@ -11,6 +11,7 @@ package optim
 import (
 	"math"
 
+	"xplace/internal/backend"
 	"xplace/internal/kernel"
 	"xplace/internal/netlist"
 )
@@ -196,11 +197,17 @@ func (o *Nesterov) Step(e *kernel.Engine, gx, gy []float64) {
 	o.iter++
 }
 
-// Adam implements the Adam optimizer over cell coordinates.
+// Adam implements the Adam optimizer over cell coordinates. On a
+// reduced-precision backend the first/second moment state is stored in
+// float32 (halving the optimizer-state traffic, the classic mixed-
+// precision training layout); positions and gradients stay float64 at the
+// API boundary and the per-element update math runs in float64 registers.
 type Adam struct {
 	bounds                Bounds
 	x, y                  []float64
 	mx, my, vxm, vym      []float64
+	mx32, my32            []float32
+	vxm32, vym32          []float32
 	LR, Beta1, Beta2, Eps float64
 	iter                  int
 	b1Pow, b2Pow          float64
@@ -210,19 +217,46 @@ type Adam struct {
 	stepBody       func(lo, hi int)
 }
 
-// NewAdam creates an Adam optimizer starting from (x0, y0) (copied).
+// NewAdam creates an Adam optimizer starting from (x0, y0) (copied), with
+// reference-precision (float64) moment state.
 func NewAdam(x0, y0 []float64, bounds Bounds, lr float64) *Adam {
+	return NewAdamOn(x0, y0, bounds, lr, nil)
+}
+
+// NewAdamOn creates an Adam optimizer whose moment state uses compute
+// backend b (nil means the reference backend, identical to NewAdam).
+func NewAdamOn(x0, y0 []float64, bounds Bounds, lr float64, be backend.Backend) *Adam {
 	n := len(x0)
 	o := &Adam{
 		bounds: bounds,
 		x:      append(make([]float64, 0, n), x0...),
 		y:      append(make([]float64, 0, n), y0...),
-		mx:     make([]float64, n), my: make([]float64, n),
-		vxm: make([]float64, n), vym: make([]float64, n),
-		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		LR:     lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
 		b1Pow: 1, b2Pow: 1,
 	}
 	b := o.bounds
+	if backend.IsReference(be) {
+		o.mx, o.my = make([]float64, n), make([]float64, n)
+		o.vxm, o.vym = make([]float64, n), make([]float64, n)
+		o.stepBody = func(lo, hi int) {
+			gx, gy := o.stepGX, o.stepGY
+			mc, vc := o.mc, o.vc
+			for c := lo; c < hi; c++ {
+				if b.frozen(c) {
+					continue
+				}
+				o.mx[c] = o.Beta1*o.mx[c] + (1-o.Beta1)*gx[c]
+				o.my[c] = o.Beta1*o.my[c] + (1-o.Beta1)*gy[c]
+				o.vxm[c] = o.Beta2*o.vxm[c] + (1-o.Beta2)*gx[c]*gx[c]
+				o.vym[c] = o.Beta2*o.vym[c] + (1-o.Beta2)*gy[c]*gy[c]
+				o.x[c] = clampTo(o.x[c]-o.LR*(o.mx[c]*mc)/(math.Sqrt(o.vxm[c]*vc)+o.Eps), b.LoX[c], b.HiX[c])
+				o.y[c] = clampTo(o.y[c]-o.LR*(o.my[c]*mc)/(math.Sqrt(o.vym[c]*vc)+o.Eps), b.LoY[c], b.HiY[c])
+			}
+		}
+		return o
+	}
+	o.mx32, o.my32 = make([]float32, n), make([]float32, n)
+	o.vxm32, o.vym32 = make([]float32, n), make([]float32, n)
 	o.stepBody = func(lo, hi int) {
 		gx, gy := o.stepGX, o.stepGY
 		mc, vc := o.mc, o.vc
@@ -230,12 +264,14 @@ func NewAdam(x0, y0 []float64, bounds Bounds, lr float64) *Adam {
 			if b.frozen(c) {
 				continue
 			}
-			o.mx[c] = o.Beta1*o.mx[c] + (1-o.Beta1)*gx[c]
-			o.my[c] = o.Beta1*o.my[c] + (1-o.Beta1)*gy[c]
-			o.vxm[c] = o.Beta2*o.vxm[c] + (1-o.Beta2)*gx[c]*gx[c]
-			o.vym[c] = o.Beta2*o.vym[c] + (1-o.Beta2)*gy[c]*gy[c]
-			o.x[c] = clampTo(o.x[c]-o.LR*(o.mx[c]*mc)/(math.Sqrt(o.vxm[c]*vc)+o.Eps), b.LoX[c], b.HiX[c])
-			o.y[c] = clampTo(o.y[c]-o.LR*(o.my[c]*mc)/(math.Sqrt(o.vym[c]*vc)+o.Eps), b.LoY[c], b.HiY[c])
+			mx := o.Beta1*float64(o.mx32[c]) + (1-o.Beta1)*gx[c]
+			my := o.Beta1*float64(o.my32[c]) + (1-o.Beta1)*gy[c]
+			vx := o.Beta2*float64(o.vxm32[c]) + (1-o.Beta2)*gx[c]*gx[c]
+			vy := o.Beta2*float64(o.vym32[c]) + (1-o.Beta2)*gy[c]*gy[c]
+			o.mx32[c], o.my32[c] = float32(mx), float32(my)
+			o.vxm32[c], o.vym32[c] = float32(vx), float32(vy)
+			o.x[c] = clampTo(o.x[c]-o.LR*(mx*mc)/(math.Sqrt(vx*vc)+o.Eps), b.LoX[c], b.HiX[c])
+			o.y[c] = clampTo(o.y[c]-o.LR*(my*mc)/(math.Sqrt(vy*vc)+o.Eps), b.LoY[c], b.HiY[c])
 		}
 	}
 	return o

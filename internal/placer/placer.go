@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"time"
 
+	"xplace/internal/backend"
 	"xplace/internal/field"
 	"xplace/internal/geom"
 	"xplace/internal/kernel"
@@ -99,6 +100,25 @@ type Options struct {
 	// GridSize is the density grid dimension M (power of two). 0 picks
 	// automatically from the cell count.
 	GridSize int
+	// Backend selects the compute backend of the density system and the
+	// optimizer state (element type + kernel bodies). nil resolves through
+	// backend.Default(), i.e. the XPLACE_BACKEND environment variable,
+	// falling back to the bit-exact float64 reference. Deterministic
+	// harnesses should pin it explicitly.
+	Backend backend.Backend
+	// AdaptiveGrid, when set, starts the density system on an M/2 bin grid
+	// while the §3.2 stage classifier reports "early" and the overflow is
+	// high, switching (once) to the full grid as spreading progresses —
+	// early iterations only need the coarse repulsion field, at a quarter
+	// of the spectral-solve work.
+	AdaptiveGrid bool
+	// SpectralTruncation, when set, zeroes the upper half-band of the
+	// Poisson spectrum during the "early" stage and skips the zeroed rows'
+	// inverse transforms. The early-stage field is dominated by low modes
+	// (the density is heavily smoothed), so truncation changes the
+	// trajectory negligibly while saving about half the field-evaluation
+	// row transforms.
+	SpectralTruncation bool
 	// TargetDensity is the bin density constraint D_t (default 1.0).
 	TargetDensity float64
 	// Seed drives the random initial placement spread.
@@ -202,7 +222,12 @@ type Placer struct {
 	eng  *kernel.Engine
 	orig *netlist.Design
 	d    *netlist.Design // augmented with fillers
-	sys  *field.System
+	sys  *field.System   // active system (the coarse one until refinement)
+	// Adaptive-grid state: sysFine is the full-resolution system; sysCoarse
+	// is the M/2 system the run starts on when AdaptiveGrid is set (nil
+	// otherwise). The coarse-to-fine switch is one-way.
+	sysFine   *field.System
+	sysCoarse *field.System
 	pre  *optim.Preconditioner
 	schd *sched.Scheduler
 	opt  optim.Optimizer
@@ -278,6 +303,8 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 		opts.OperatorReduction = false
 		opts.OperatorSkipping = false
 		opts.Sched.StageAware = false
+		opts.AdaptiveGrid = false
+		opts.SpectralTruncation = false
 	}
 	opts.Sched.SkipEnabled = opts.OperatorSkipping
 
@@ -294,8 +321,10 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 	if m&(m-1) != 0 || m <= 0 {
 		return nil, fmt.Errorf("placer: grid size %d must be a power of two", m)
 	}
+	be := backend.Resolve(opts.Backend)
+	opts.Backend = be
 	grid := geom.NewGrid(d.Region, m, m)
-	sys := field.NewSystem(grid, e)
+	sys := field.NewSystemOn(grid, e, be)
 	pre := optim.NewPreconditioner(aug)
 	binSize := math.Sqrt(grid.Dx * grid.Dy)
 	// The gamma schedule is calibrated in "reference bin" units: the die
@@ -307,10 +336,15 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 
 	p := &Placer{
 		opts: opts, eng: e, orig: d, d: aug,
-		sys: sys, pre: pre, schd: schd,
+		sys: sys, sysFine: sys, pre: pre, schd: schd,
 		rec: &metrics.Recorder{},
 		sq:  e.NewSyncQueue(),
 		ctx: context.Background(),
+	}
+	if opts.AdaptiveGrid && m/2 >= 8 {
+		mc := m / 2
+		p.sysCoarse = field.NewSystemOn(geom.NewGrid(d.Region, mc, mc), e, be)
+		p.sys = p.sysCoarse
 	}
 	n := aug.NumCells()
 	p.pinGX = make([]float64, aug.NumPins())
@@ -334,7 +368,7 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 		if lr == 0 {
 			lr = binSize
 		}
-		p.opt = optim.NewAdam(x0, y0, bounds, lr)
+		p.opt = optim.NewAdamOn(x0, y0, bounds, lr, be)
 	default:
 		p.opt = optim.NewNesterov(x0, y0, bounds, binSize)
 	}
@@ -608,15 +642,22 @@ func (p *Placer) snapshot() Snapshot {
 	}
 }
 
-// Close returns the placer's arena-backed scratch (the spectral plan's
-// buffers) to the engine, dropping the engine arena's in-use bytes back to
-// their pre-placer baseline. Call it when the placer is done — in
-// particular after a cancelled or timed-out run, so pooled engines do not
-// accumulate dead checkouts. Close is idempotent; a closed placer may
-// still be run (the scratch is simply checked out again).
+// Close returns the placer's arena-backed scratch (the spectral plans'
+// buffers, the density systems' backend buffers, the wirelength partials)
+// to the engine, dropping the engine arena's in-use bytes back to their
+// pre-placer baseline. Call it when the placer is done — in particular
+// after a cancelled or timed-out run, so pooled engines do not accumulate
+// dead checkouts. Close is idempotent (every link of the release chain —
+// System.Release, Plan.Release, Ops.Release — tolerates a second call);
+// a closed placer may still be run (the scratch is simply checked out
+// again).
 func (p *Placer) Close() {
 	p.sq.Flush()
-	p.sys.Release(p.eng)
+	p.wl.Release()
+	p.sysFine.Release(p.eng)
+	if p.sysCoarse != nil {
+		p.sysCoarse.Release(p.eng)
+	}
 }
 
 func (p *Placer) finalize(start time.Time) *Result {

@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"xplace/internal/backend"
+	"xplace/internal/kernel"
+)
+
+// Backend-backed tensors: the element storage is an opaque backend.Buf
+// whose element type belongs to the compute backend, while Data remains a
+// float64 facade view for the autograd operators (which are elementwise
+// float64 by contract). On the reference backend the facade IS the buffer
+// — Data aliases the float64 storage and Sync/Flush are free. On a
+// reduced-precision backend the facade is a separate float64 view and the
+// registry cvt.* bodies convert across the boundary, each as one kernel.
+
+// Backed couples a Tensor's float64 facade with its backend storage.
+type Backed struct {
+	*Tensor
+	be  backend.Backend
+	buf backend.Buf
+	ld  backend.VecBody // facade -> buffer (cvt.load)
+	st  backend.VecBody // buffer -> facade (cvt.store)
+}
+
+// NewOn allocates a zero tensor of the given shape whose element storage
+// lives in e's arena under backend b (nil selects the reference backend).
+// Call Release when done so the storage returns to the arena.
+func NewOn(e *kernel.Engine, b backend.Backend, shape ...int) *Backed {
+	b = backend.Resolve(b)
+	t := New(shape...) // validates shape; Data is the facade
+	n := t.Len()
+	bt := &Backed{Tensor: t, be: b, buf: b.Alloc(e, n)}
+	if f64 := bt.buf.Float64(); f64 != nil {
+		// Reference backend: zero-copy — the facade aliases the storage.
+		bt.Tensor.Data = f64
+		return bt
+	}
+	bt.ld = b.Kernels().Make("cvt.load")
+	bt.st = b.Kernels().Make("cvt.store")
+	return bt
+}
+
+// Backend returns the tensor's compute backend.
+func (t *Backed) Backend() backend.Backend { return t.be }
+
+// Buffer exposes the opaque element storage for backend-aware kernels.
+func (t *Backed) Buffer() backend.Buf { return t.buf }
+
+// Flush writes the float64 facade into the backend buffer (one kernel).
+// A no-op on the reference backend, where the two alias.
+func (t *Backed) Flush(e *kernel.Engine) {
+	if t.ld.Run == nil {
+		return
+	}
+	t.ld.Bind(t.buf, backend.WrapF64(t.Data), backend.Buf{}, 0)
+	e.Launch("tensor.cvt_load", t.Len(), func(lo, hi int) { t.ld.Run(lo, hi) })
+}
+
+// Sync reads the backend buffer back into the float64 facade (one
+// kernel). A no-op on the reference backend.
+func (t *Backed) Sync(e *kernel.Engine) {
+	if t.st.Run == nil {
+		return
+	}
+	t.st.Bind(backend.WrapF64(t.Data), t.buf, backend.Buf{}, 0)
+	e.Launch("tensor.cvt_store", t.Len(), func(lo, hi int) { t.st.Run(lo, hi) })
+}
+
+// Release returns the element storage to e's arena. Idempotent. The
+// facade Data stays readable on a reduced-precision backend; on the
+// reference backend it aliased the storage and must not be used after
+// Release.
+func (t *Backed) Release(e *kernel.Engine) {
+	if t.buf.IsZero() {
+		return
+	}
+	t.be.Free(e, t.buf)
+	t.buf = backend.Buf{}
+}

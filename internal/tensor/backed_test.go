@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"xplace/internal/backend"
+	"xplace/internal/kernel"
+)
+
+// TestBackedReferenceAliases: on the reference backend the float64 facade
+// IS the arena storage — writes land without Flush, and autograd ops see
+// them directly.
+func TestBackedReferenceAliases(t *testing.T) {
+	e := kernel.New(kernel.Options{Workers: 2})
+	defer e.Close()
+	bt := NewOn(e, backend.Float64(), 4, 8)
+	if bt.Len() != 32 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if e.ArenaStats().InUse != 32*8 {
+		t.Fatalf("InUse = %d, want %d", e.ArenaStats().InUse, 32*8)
+	}
+	bt.Data[5] = 7.5
+	if got := bt.Buffer().Float64()[5]; got != 7.5 {
+		t.Fatalf("facade write did not reach storage: %v", got)
+	}
+	bt.Flush(e) // both are no-ops on the reference backend
+	bt.Sync(e)
+	if bt.Data[5] != 7.5 {
+		t.Fatal("no-op sync clobbered the facade")
+	}
+	bt.Release(e)
+	bt.Release(e) // idempotent
+	if e.ArenaStats().InUse != 0 {
+		t.Fatalf("InUse after release = %d", e.ArenaStats().InUse)
+	}
+}
+
+// TestBackedFloat32RoundTrip: the float32 storage round-trips the facade
+// through Flush/Sync within float32 rounding, and the ops still read the
+// float64 facade.
+func TestBackedFloat32RoundTrip(t *testing.T) {
+	e := kernel.New(kernel.Options{Workers: 2})
+	defer e.Close()
+	bt := NewOn(e, backend.Float32(), 100)
+	if bt.Buffer().Float32() == nil || bt.Buffer().Float64() != nil {
+		t.Fatal("float32 tensor must hold a float32 buffer")
+	}
+	if e.ArenaStats().InUse != 128*4 { // size-classed up to 128 elements
+		t.Fatalf("InUse = %d, want %d", e.ArenaStats().InUse, 128*4)
+	}
+	for i := range bt.Data {
+		bt.Data[i] = math.Sin(float64(i) * 0.3)
+	}
+	bt.Flush(e)
+	// Scribble over the facade, then restore it from storage.
+	for i := range bt.Data {
+		bt.Data[i] = -1
+	}
+	bt.Sync(e)
+	for i := range bt.Data {
+		want := math.Sin(float64(i) * 0.3)
+		if math.Abs(bt.Data[i]-want) > 1e-6 {
+			t.Fatalf("Data[%d] = %v, want ~%v", i, bt.Data[i], want)
+		}
+	}
+	// The facade feeds the autograd ops unchanged.
+	ctx := NewContext(e)
+	s := Sum(ctx, bt.Tensor)
+	var want float64
+	for i := 0; i < 100; i++ {
+		want += math.Sin(float64(i) * 0.3)
+	}
+	if math.Abs(s.Data[0]-want) > 1e-5 {
+		t.Fatalf("Sum over facade = %v, want ~%v", s.Data[0], want)
+	}
+	bt.Release(e)
+	if e.ArenaStats().InUse != 0 {
+		t.Fatalf("InUse after release = %d", e.ArenaStats().InUse)
+	}
+}
+
+// TestBackedDefaultResolution: nil backend resolves through the process
+// default (the XPLACE_BACKEND env var).
+func TestBackedDefaultResolution(t *testing.T) {
+	t.Setenv(backend.EnvVar, "float32")
+	e := kernel.New(kernel.Options{Workers: 1})
+	defer e.Close()
+	bt := NewOn(e, nil, 16)
+	defer bt.Release(e)
+	if bt.Backend().Name() != "float32" {
+		t.Fatalf("resolved backend = %q, want float32", bt.Backend().Name())
+	}
+}

@@ -44,14 +44,15 @@ type Ops struct {
 }
 
 // NewOps builds the persistent wirelength operators for (e, d) using the
-// given smoothed model.
+// given smoothed model. The per-worker partial buffers come from e's
+// arena; call Release when done with the operator set.
 func NewOps(e *kernel.Engine, d *netlist.Design, model Model) *Ops {
 	o := &Ops{
 		e:      e,
 		d:      d,
 		model:  model,
-		partWA: make([]float64, e.Workers()),
-		partHP: make([]float64, e.Workers()),
+		partWA: e.Alloc(e.Workers()),
+		partHP: e.Alloc(e.Workers()),
 	}
 	netFn := netWA
 	o.fusedName, o.gradName = "wl.fused_wa_grad_hpwl", "wl.wa_grad"
@@ -96,9 +97,29 @@ func NewOps(e *kernel.Engine, d *netlist.Design, model Model) *Ops {
 	return o
 }
 
+// Release returns the per-worker partial buffers to the engine arena.
+// Idempotent; the Ops stays usable — the next evaluation checks the
+// partials out again.
+func (o *Ops) Release() {
+	if o.partWA != nil {
+		o.e.Free(o.partWA)
+		o.e.Free(o.partHP)
+		o.partWA, o.partHP = nil, nil
+	}
+}
+
+// ensure re-checks the partial buffers out after a Release.
+func (o *Ops) ensure() {
+	if o.partWA == nil {
+		o.partWA = o.e.Alloc(o.e.Workers())
+		o.partHP = o.e.Alloc(o.e.Workers())
+	}
+}
+
 // Fused evaluates smoothed wirelength, pin gradient and HPWL in a single
 // kernel launch (the paper's operator combination, §3.1.1).
 func (o *Ops) Fused(x, y []float64, gamma float64, pinGX, pinGY []float64) Result {
+	o.ensure()
 	o.x, o.y, o.gamma, o.pinGX, o.pinGY = x, y, gamma, pinGX, pinGY
 	used := o.e.LaunchChunks(o.fusedName, o.d.NumNets(), o.fusedBody)
 	var res Result
@@ -112,6 +133,7 @@ func (o *Ops) Fused(x, y []float64, gamma float64, pinGX, pinGY []float64) Resul
 // Grad evaluates the smoothed wirelength and its pin gradient WITHOUT the
 // HPWL fusion — the "no operator combination" configuration.
 func (o *Ops) Grad(x, y []float64, gamma float64, pinGX, pinGY []float64) float64 {
+	o.ensure()
 	o.x, o.y, o.gamma, o.pinGX, o.pinGY = x, y, gamma, pinGX, pinGY
 	used := o.e.LaunchChunks(o.gradName, o.d.NumNets(), o.gradBody)
 	var total float64

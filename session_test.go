@@ -88,6 +88,68 @@ func TestSessionLeavesSuppliedEngineOpen(t *testing.T) {
 	}
 }
 
+// TestSessionWithBackend: WithBackend threads the compute backend into the
+// engine and every run; WithBackendName resolves registry names and rejects
+// unknown ones.
+func TestSessionWithBackend(t *testing.T) {
+	s := NewSession(WithEngineOptions(1, 0), WithBackend(Float32Backend()))
+	defer s.Close()
+	if s.Backend() == nil || s.Backend().Name() != "float32" {
+		t.Fatalf("session backend = %v, want float32", s.Backend())
+	}
+	if got := s.Engine().Backend(); got == nil || got.Name() != "float32" {
+		t.Fatalf("engine backend = %v, want float32", got)
+	}
+	res, err := s.Place(context.Background(), sessionTestDesign(t, 150, 8), sessionTestOpts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("Iterations = %d, want 10", res.Iterations)
+	}
+
+	if _, err := WithBackendName("float16"); err == nil {
+		t.Error("WithBackendName accepted an unknown backend")
+	}
+	opt, err := WithBackendName("float32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(WithEngineOptions(1, 0), opt)
+	defer s2.Close()
+	if s2.Backend().Name() != "float32" {
+		t.Fatalf("WithBackendName backend = %q", s2.Backend().Name())
+	}
+}
+
+// TestSessionCloseTwiceAfterEngineClose: the double-release chain — Close a
+// Session whose engine is already gone, twice, after a completed run. No
+// panic, no double-free; a caller-supplied engine stays the caller's to
+// close first.
+func TestSessionCloseTwiceAfterEngineClose(t *testing.T) {
+	// Session-owned engine: user grabs the engine handle and closes it
+	// before the session (the documented-wrong-but-survivable order).
+	s := NewSession(WithEngineOptions(1, 0))
+	if _, err := s.Place(context.Background(), sessionTestDesign(t, 120, 9), sessionTestOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	eng := s.Engine()
+	eng.Close()
+	eng.Close() // engine Close is itself idempotent
+	s.Close()   // must tolerate the already-closed engine
+	s.Close()   // and stay idempotent
+
+	// Caller-supplied engine closed before the session.
+	eng2 := NewEngine(1, 0)
+	s2 := NewSession(WithEngine(eng2))
+	if _, err := s2.Place(context.Background(), sessionTestDesign(t, 120, 10), sessionTestOpts(4)); err != nil {
+		t.Fatal(err)
+	}
+	eng2.Close()
+	s2.Close()
+	s2.Close()
+}
+
 // TestSessionObservabilityWiring: WithTracer/WithMetrics/WithProgress
 // thread through a Session.Place run — kernels and operator groups land in
 // the tracer, the paper-optimization series land in the registry, and the
