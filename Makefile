@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test test-float32 race bench fuzz-smoke bench-trajectory bench-smoke check
+.PHONY: all vet build test test-float32 race test-recovery bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -22,6 +22,14 @@ test-float32:
 
 race:
 	$(GO) test -race ./...
+
+# Durability gate: the job-store units (WAL replay, torn tail,
+# checkpoint atomicity, cache), the scheduler recovery/cache/lifecycle
+# suite, and the process-level SIGKILL kill-and-restart test that pins
+# bit-identical resumed trajectories — all under the race detector.
+test-recovery:
+	$(GO) test -race ./internal/jobstore ./internal/serve
+	$(GO) test -race -run 'TestKillRestartRecovery|TestEventsCloseOnDrain|TestCachedSubmissionOverHTTP|TestSubmitValidation' -v ./cmd/xserve
 
 # Short fuzz pass over the file-format parsers: each target gets a few
 # seconds on top of its seed corpus. Catches parser panics (negative or

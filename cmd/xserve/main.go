@@ -15,10 +15,19 @@
 //
 // Example:
 //
-//	xserve -addr :8080 -engines 2 -queue 8 &
+//	xserve -addr :8080 -engines 2 -queue 8 -store /var/lib/xserve &
 //	curl -s -X POST localhost:8080/jobs \
 //	    -d '{"bench":"adaptec1","scale":0.02,"seed":1}'
 //	curl -N localhost:8080/jobs/1/events
+//
+// With -store the daemon is durable: every job transition is written to a
+// WAL under the store directory, running jobs checkpoint their placer
+// state every -checkpoint-every iterations, and a restarted daemon
+// re-enqueues unfinished jobs — resuming checkpointed ones mid-trajectory
+// with bit-identical final results (same flags and worker count
+// assumed). Succeeded results are cached by content: resubmitting an
+// identical request returns the finished job immediately ("cached": true)
+// without running an engine.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,30 +47,63 @@ import (
 	"time"
 
 	"xplace/internal/benchgen"
+	"xplace/internal/jobstore"
 	"xplace/internal/placer"
 	"xplace/internal/serve"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		engines  = flag.Int("engines", 2, "engine pool size (max concurrent jobs)")
-		queueCap = flag.Int("queue", 8, "submit queue capacity (full queue rejects)")
-		workers  = flag.Int("workers", 0, "kernel workers per engine (0 = NumCPU)")
-		overhead = flag.Duration("launch-overhead", -1, "simulated kernel-launch cost (-1 = default, 0 = off)")
-		timeout  = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
-		history  = flag.Int("history", 512, "per-job progress snapshots retained")
+		addr      = flag.String("addr", ":8080", "listen address")
+		engines   = flag.Int("engines", 2, "engine pool size (max concurrent jobs)")
+		queueCap  = flag.Int("queue", 8, "submit queue capacity (full queue rejects)")
+		workers   = flag.Int("workers", 0, "kernel workers per engine (0 = NumCPU)")
+		overhead  = flag.Duration("launch-overhead", -1, "simulated kernel-launch cost (-1 = default, 0 = off)")
+		timeout   = flag.Duration("timeout", 0, "default per-job timeout (0 = none)")
+		history   = flag.Int("history", 512, "per-job progress snapshots retained")
+		storeDir  = flag.String("store", "", "durable job store directory (empty = in-memory only)")
+		ckptEvery = flag.Int("checkpoint-every", 25, "placer checkpoint period in GP iterations (needs -store)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Options{
-		Engines:        *engines,
-		QueueCap:       *queueCap,
-		EngineWorkers:  *workers,
-		LaunchOverhead: *overhead,
-		DefaultTimeout: *timeout,
-		History:        *history,
+	var store *jobstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = jobstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("xserve: opening store: %v", err)
+		}
+	}
+	s, err := serve.New(serve.Options{
+		Engines:         *engines,
+		QueueCap:        *queueCap,
+		EngineWorkers:   *workers,
+		LaunchOverhead:  *overhead,
+		DefaultTimeout:  *timeout,
+		History:         *history,
+		Store:           store,
+		Rehydrate:       rehydrateRequest,
+		CheckpointEvery: *ckptEvery,
 	})
+	if err != nil {
+		log.Fatalf("xserve: recovering store: %v", err)
+	}
+	if store != nil {
+		reg := s.Registry()
+		recovered := reg.Counter("xserve_store_recovered_jobs", "non-terminal jobs re-enqueued on startup").Value()
+		resumed := reg.Counter("xserve_store_resumed_jobs", "recovered jobs resumed from a checkpoint").Value()
+		log.Printf("xserve: store %s: re-enqueued %d unfinished jobs (%d resumed from checkpoints), %d cached results",
+			*storeDir, recovered, resumed, store.CacheLen())
+		for _, j := range s.Jobs() {
+			if st := j.Status(); st.Recovered && !st.State.Terminal() {
+				how := "from scratch"
+				if st.Resumed {
+					how = "resuming mid-trajectory"
+				}
+				log.Printf("xserve: recovered job %d (%s) %s", st.ID, st.Label, how)
+			}
+		}
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: newMux(s)}
 	errc := make(chan error, 1)
@@ -76,19 +119,29 @@ func main() {
 		log.Printf("xserve: server error: %v", err)
 	}
 
-	// Graceful shutdown: stop HTTP intake, then drain the scheduler (a
-	// second signal, or the 30s budget, cancels the remaining jobs).
+	// Graceful shutdown. The scheduler drain starts FIRST (concurrently):
+	// open SSE streams poll Draining() and close themselves, so the HTTP
+	// shutdown is not held open for its whole budget by live streams — the
+	// historical 30s hang. A second signal, or the 30s budget, cancels the
+	// remaining jobs.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	go func() {
 		<-sigc
 		cancel()
 	}()
+	drainc := make(chan error, 1)
+	go func() { drainc <- s.Shutdown(ctx) }()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("xserve: http shutdown: %v", err)
 	}
-	if err := s.Shutdown(ctx); err != nil {
+	if err := <-drainc; err != nil {
 		log.Printf("xserve: drain cut short: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("xserve: closing store: %v", err)
+		}
 	}
 	log.Printf("xserve: bye")
 }
@@ -113,10 +166,15 @@ func newMux(s *serve.Scheduler) *http.ServeMux {
 
 // jobRequest is the POST /jobs body. The design is a synthetic contest
 // benchmark (as in `xplace -bench`); mode selects the GP engine.
+//
+// Zero-value coercion (part of the API): scale 0 selects the default
+// 0.02 and seed 0 selects the default 1 — a request with "seed": 0 names
+// the SAME design as "seed": 1, and both land on the same result-cache
+// entry. Use an explicit non-zero seed for a distinct design.
 type jobRequest struct {
 	Bench   string  `json:"bench"`
-	Scale   float64 `json:"scale,omitempty"`    // default 0.02
-	Seed    int64   `json:"seed,omitempty"`     // default 1
+	Scale   float64 `json:"scale,omitempty"`    // cell-count fraction; 0 = default 0.02
+	Seed    int64   `json:"seed,omitempty"`     // design seed; 0 = default 1
 	Mode    string  `json:"mode,omitempty"`     // xplace | baseline
 	MaxIter int     `json:"max_iter,omitempty"` // GP iteration cap
 	Grid    int     `json:"grid,omitempty"`     // density grid size
@@ -125,32 +183,70 @@ type jobRequest struct {
 	Trace   bool    `json:"trace,omitempty"` // record a per-job operator trace
 }
 
-func (r *jobRequest) toSpec() (serve.Spec, error) {
+// validate rejects requests the scheduler would otherwise run with
+// nonsense parameters (or coerce surprisingly).
+func (r *jobRequest) validate() error {
 	if r.Bench == "" {
-		return serve.Spec{}, errors.New("bench is required")
+		return errors.New("bench is required")
+	}
+	if r.Scale < 0 || math.IsNaN(r.Scale) || math.IsInf(r.Scale, 0) {
+		return fmt.Errorf("scale %v must be a finite value >= 0 (0 selects the default 0.02)", r.Scale)
+	}
+	if r.MaxIter < 0 {
+		return fmt.Errorf("max_iter %d must be >= 0", r.MaxIter)
+	}
+	if r.Grid < 0 {
+		return fmt.Errorf("grid %d must be >= 0 (0 selects the mode default)", r.Grid)
+	}
+	return nil
+}
+
+// normalize applies the documented zero-value coercions, making the
+// request canonical: two requests naming the same placement marshal to
+// the same payload and cache key.
+func (r *jobRequest) normalize() {
+	if r.Scale == 0 {
+		r.Scale = 0.02
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Mode == "" {
+		r.Mode = "xplace"
+	}
+	if r.Label == "" {
+		r.Label = r.Bench
+	}
+}
+
+// cacheKey is the request's result-cache content address: exactly the
+// fields that determine the placement's outcome. Label, trace and
+// timeout are excluded — they change reporting or execution limits, not
+// the converged result.
+func (r *jobRequest) cacheKey() string {
+	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|max_iter=%d|grid=%d",
+		r.Bench, r.Scale, r.Seed, r.Mode, r.MaxIter, r.Grid)
+}
+
+func (r *jobRequest) toSpec() (serve.Spec, error) {
+	if err := r.validate(); err != nil {
+		return serve.Spec{}, err
 	}
 	bspec, ok := benchgen.FindSpec(r.Bench)
 	if !ok {
 		return serve.Spec{}, fmt.Errorf("unknown benchmark %q", r.Bench)
 	}
-	scale := r.Scale
-	if scale == 0 {
-		scale = 0.02
-	}
-	seed := r.Seed
-	if seed == 0 {
-		seed = 1
-	}
+	r.normalize()
 	var opts placer.Options
 	switch r.Mode {
-	case "", "xplace":
+	case "xplace":
 		opts = placer.Defaults()
 	case "baseline":
 		opts = placer.BaselineDefaults()
 	default:
 		return serve.Spec{}, fmt.Errorf("unknown mode %q", r.Mode)
 	}
-	opts.Seed = seed
+	opts.Seed = r.Seed
 	opts.GridSize = r.Grid
 	if r.MaxIter > 0 {
 		opts.Sched.MaxIter = r.MaxIter
@@ -161,18 +257,37 @@ func (r *jobRequest) toSpec() (serve.Spec, error) {
 		if timeout, err = time.ParseDuration(r.Timeout); err != nil {
 			return serve.Spec{}, fmt.Errorf("bad timeout: %v", err)
 		}
+		if timeout < 0 {
+			return serve.Spec{}, fmt.Errorf("timeout %q must be >= 0", r.Timeout)
+		}
 	}
-	label := r.Label
-	if label == "" {
-		label = r.Bench
+	// The normalized request is the job's durable identity: the payload
+	// replayed by a restarted daemon, and the content key for the result
+	// cache. The expanded netlist is re-derived, never stored.
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return serve.Spec{}, err
 	}
 	return serve.Spec{
-		Design:  benchgen.Generate(bspec, scale, seed),
+		Design:  benchgen.Generate(bspec, r.Scale, r.Seed),
 		Options: opts,
 		Timeout: timeout,
-		Label:   label,
+		Label:   r.Label,
 		Trace:   r.Trace,
+		Payload: payload,
+		Key:     r.cacheKey(),
 	}, nil
+}
+
+// rehydrateRequest rebuilds a Spec from a WAL payload — the recovery
+// half of toSpec. The payload is already normalized, so the rebuilt
+// design and options are identical to the original submission's.
+func rehydrateRequest(b []byte) (serve.Spec, error) {
+	var req jobRequest
+	if err := json.Unmarshal(b, &req); err != nil {
+		return serve.Spec{}, err
+	}
+	return req.toSpec()
 }
 
 // jobJSON is the wire form of a job status.
@@ -188,6 +303,9 @@ type jobJSON struct {
 	Iters     int              `json:"iterations,omitempty"`
 	HPWL      float64          `json:"hpwl,omitempty"`
 	Overflow  float64          `json:"overflow,omitempty"`
+	Cached    bool             `json:"cached,omitempty"`    // served from the result cache
+	Recovered bool             `json:"recovered,omitempty"` // replayed from the WAL after a restart
+	Resumed   bool             `json:"resumed,omitempty"`   // continued from a placer checkpoint
 }
 
 func toJSON(st serve.Status) jobJSON {
@@ -200,6 +318,9 @@ func toJSON(st serve.Status) jobJSON {
 		Iters:     st.Iterations,
 		HPWL:      st.HPWL,
 		Overflow:  st.Overflow,
+		Cached:    st.Cached,
+		Recovered: st.Recovered,
+		Resumed:   st.Resumed,
 	}
 	if !st.Started.IsZero() {
 		t := st.Started
@@ -337,6 +458,14 @@ func handleEvents(s *serve.Scheduler) http.HandlerFunc {
 		for _, sn := range j.Snapshots() {
 			emit(sn)
 		}
+		// Drain watch: http.Server.Shutdown does NOT cancel in-flight
+		// request contexts, so a stream held open by a long job would hold
+		// graceful shutdown hostage for its whole budget. Poll the
+		// scheduler's drain flag and close the stream promptly instead; the
+		// client sees an explicit "draining" event and can reconnect after
+		// the daemon restarts (recovering the job from the store).
+		drain := time.NewTicker(200 * time.Millisecond)
+		defer drain.Stop()
 		for {
 			select {
 			case sn, ok := <-live:
@@ -347,6 +476,12 @@ func handleEvents(s *serve.Scheduler) http.HandlerFunc {
 					return
 				}
 				emit(sn)
+			case <-drain.C:
+				if s.Draining() {
+					fmt.Fprintf(w, "event: draining\ndata: {}\n\n")
+					fl.Flush()
+					return
+				}
 			case <-r.Context().Done():
 				return
 			}

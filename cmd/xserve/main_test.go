@@ -15,7 +15,10 @@ import (
 
 func newTestServer(t *testing.T, opts serve.Options) (*httptest.Server, *serve.Scheduler) {
 	t.Helper()
-	s := serve.New(opts)
+	s, err := serve.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(newMux(s))
 	t.Cleanup(func() {
 		srv.Close()

@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freePort grabs an ephemeral port and releases it for the daemon to
+// bind (a small window exists; acceptable for tests).
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// daemon is one spawned xserve process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string
+	log  *os.File
+}
+
+func startDaemon(t *testing.T, bin, addr, storeDir string) *daemon {
+	t.Helper()
+	logf, err := os.CreateTemp(t.TempDir(), "xserve-*.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin,
+		"-addr", addr, "-engines", "1", "-workers", "2",
+		"-store", storeDir, "-checkpoint-every", "5")
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, base: "http://" + addr, log: logf}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/jobs")
+		if err == nil {
+			resp.Body.Close()
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d.dump(t)
+	t.Fatal("daemon never became ready")
+	return nil
+}
+
+func (d *daemon) dump(t *testing.T) {
+	t.Helper()
+	if b, err := os.ReadFile(d.log.Name()); err == nil && len(b) > 0 {
+		t.Logf("daemon log:\n%s", b)
+	}
+}
+
+// kill sends SIGKILL — the crash the store must survive.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.cmd.Wait()
+}
+
+// stop shuts the daemon down gracefully.
+func (d *daemon) stop(t *testing.T) {
+	t.Helper()
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { _ = d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Error("daemon ignored SIGTERM")
+		d.kill(t)
+	}
+}
+
+func getStatus(t *testing.T, base string, id int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%d", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// progressIter digs the live iteration count out of a status document.
+func progressIter(m map[string]any) int {
+	p, ok := m["progress"].(map[string]any)
+	if !ok {
+		return 0
+	}
+	iter, _ := p["Iter"].(float64)
+	return int(iter)
+}
+
+func waitSucceeded(t *testing.T, base string, id int, within time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		m := getStatus(t, base, id)
+		switch m["state"] {
+		case "succeeded":
+			return m
+		case "failed", "canceled", "timed-out":
+			t.Fatalf("job %d ended %v: %v", id, m["state"], m["error"])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %d never succeeded within %v", id, within)
+	return nil
+}
+
+// scrapeMetric reads one un-labelled series from /metrics.
+func scrapeMetric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestKillRestartRecovery is the PR's end-to-end acceptance gate: a
+// daemon is SIGKILLed mid-placement, restarted over the same store, and
+// must resume the job from its last checkpoint to a final HPWL/overflow
+// bit-identical to a never-interrupted daemon's run of the same request.
+// An identical resubmission afterwards is served from the durable result
+// cache with zero new kernel launches.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level integration test")
+	}
+	bin := filepath.Join(t.TempDir(), "xserve-under-test")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+	const body = `{"bench":"adaptec1","scale":0.02,"seed":5,"max_iter":3000,"label":"crashable"}`
+	submit := func(base string) map[string]any {
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+		}
+		return m
+	}
+
+	// Run 1: submit, let it pass a few checkpoints (written every 5
+	// iterations), then SIGKILL mid-trajectory.
+	storeDir := t.TempDir()
+	addr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	d1 := startDaemon(t, bin, addr, storeDir)
+	submit(d1.base)
+	killed := false
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		m := getStatus(t, d1.base, 1)
+		if m["state"] == "succeeded" {
+			break // too fast to kill mid-run; the test cannot proceed
+		}
+		if progressIter(m) >= 15 {
+			d1.kill(t)
+			killed = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !killed {
+		t.Fatal("job finished before reaching iteration 15 — could not simulate a crash")
+	}
+
+	// Run 2: a fresh daemon over the same store recovers and resumes.
+	d2 := startDaemon(t, bin, addr, storeDir)
+	defer d2.stop(t)
+	st := getStatus(t, d2.base, 1)
+	if st["recovered"] != true {
+		d2.dump(t)
+		t.Fatalf("restarted daemon did not recover job 1: %v", st)
+	}
+	final := waitSucceeded(t, d2.base, 1, 3*time.Minute)
+	if final["resumed"] != true {
+		d2.dump(t)
+		t.Fatalf("recovered job did not resume from its checkpoint: %v", final)
+	}
+
+	// Reference: an uninterrupted daemon (fresh store) runs the same
+	// request to completion.
+	refAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	dr := startDaemon(t, bin, refAddr, t.TempDir())
+	defer dr.stop(t)
+	submit(dr.base)
+	ref := waitSucceeded(t, dr.base, 1, 3*time.Minute)
+
+	for _, k := range []string{"hpwl", "overflow", "iterations"} {
+		if final[k] != ref[k] {
+			t.Errorf("resumed %s = %v, uninterrupted = %v (must be bit-identical)", k, final[k], ref[k])
+		}
+	}
+
+	// Cached resubmission: same body, zero new engine work.
+	launches := scrapeMetric(t, d2.base, "xserve_kernel_launches_total")
+	re := submit(d2.base)
+	id := int(re["id"].(float64))
+	cached := waitSucceeded(t, d2.base, id, 30*time.Second)
+	if cached["cached"] != true {
+		t.Fatalf("identical resubmission not served from cache: %v", cached)
+	}
+	if cached["hpwl"] != final["hpwl"] || cached["iterations"] != final["iterations"] {
+		t.Errorf("cached result differs: %v vs %v", cached, final)
+	}
+	if after := scrapeMetric(t, d2.base, "xserve_kernel_launches_total"); after != launches {
+		t.Errorf("cache hit launched kernels: %v -> %v", launches, after)
+	}
+	if hits := scrapeMetric(t, d2.base, "xserve_cache_hits_total"); hits < 1 {
+		t.Errorf("cache hits = %v, want >= 1", hits)
+	}
+}

@@ -1,0 +1,254 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestWALReplay: submit/begin/finish records fold into per-job state, in
+// submission order, across a store reopen.
+func TestWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	payload := json.RawMessage(`{"bench":"adaptec1","scale":0.01}`)
+	if err := s.AppendSubmit(1, "a", payload, "key-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBegin(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendFinish(1, "succeeded", "", 120, 123.5, 0.06, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(2, "b", payload, "key-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBegin(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(3, "c", payload, "key-c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := open(t, dir)
+	jobs, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("recovered %d jobs, want 3", len(jobs))
+	}
+	j1, j2, j3 := jobs[0], jobs[1], jobs[2]
+	if j1.ID != 1 || j1.State != "succeeded" || !j1.Terminal() {
+		t.Errorf("job 1: %+v, want terminal succeeded", j1)
+	}
+	if j1.Iterations != 120 || j1.HPWL != 123.5 || j1.Overflow != 0.06 {
+		t.Errorf("job 1 result fields lost: %+v", j1)
+	}
+	if j2.ID != 2 || j2.State != "running" || j2.Terminal() {
+		t.Errorf("job 2: %+v, want non-terminal running", j2)
+	}
+	if j3.ID != 3 || j3.State != "queued" || j3.Terminal() {
+		t.Errorf("job 3: %+v, want non-terminal queued", j3)
+	}
+	if string(j3.Payload) != string(payload) || j3.Key != "key-c" || j3.Label != "c" {
+		t.Errorf("job 3 submit fields lost: %+v", j3)
+	}
+
+	// New appends continue the sequence — no seq reuse after reopen.
+	if err := s2.AppendFinish(2, "failed", "boom", 0, 0, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[1].State != "failed" || jobs[1].Err != "boom" {
+		t.Errorf("job 2 after finish: %+v", jobs[1])
+	}
+}
+
+// TestWALTornTail: a crash mid-append leaves a partial final line; replay
+// keeps every complete record and drops only the torn one.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendSubmit(1, "a", json.RawMessage(`{}`), "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendSubmit(2, "b", json.RawMessage(`{}`), "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"type":"finish","job":1,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := open(t, dir)
+	jobs, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].State != "queued" || jobs[1].State != "queued" {
+		t.Errorf("torn finish leaked into state: %+v %+v", jobs[0], jobs[1])
+	}
+	// The next append must overtake the torn record's seq claim safely.
+	if err := s2.AppendBegin(1); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = s2.Recover()
+	if err != nil || len(jobs) != 2 || jobs[0].State != "running" {
+		t.Fatalf("append after torn tail: jobs=%+v err=%v", jobs, err)
+	}
+}
+
+// TestCheckpointLifecycle: checkpoints replace atomically, surface in
+// Recover as HasCheckpoint for non-terminal jobs only, and disappear on
+// RemoveCheckpoint.
+func TestCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+	if err := s.AppendSubmit(7, "", json.RawMessage(`{}`), "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBegin(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadCheckpoint(7); ok {
+		t.Fatal("checkpoint present before any write")
+	}
+	if err := s.WriteCheckpoint(7, []byte(`{"iter":10}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteCheckpoint(7, []byte(`{"iter":20}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.LoadCheckpoint(7)
+	if !ok || string(b) != `{"iter":20}` {
+		t.Fatalf("LoadCheckpoint = %q, %v; want newest write", b, ok)
+	}
+	jobs, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].HasCheckpoint {
+		t.Error("running job with checkpoint file: HasCheckpoint false")
+	}
+	// No stray temp files from the atomic writes.
+	entries, _ := os.ReadDir(filepath.Join(dir, "ckpt"))
+	if len(entries) != 1 {
+		t.Errorf("ckpt dir has %d entries, want 1", len(entries))
+	}
+
+	if err := s.AppendFinish(7, "succeeded", "", 30, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveCheckpoint(7)
+	if _, ok := s.LoadCheckpoint(7); ok {
+		t.Error("checkpoint survived RemoveCheckpoint")
+	}
+	jobs, err = s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].HasCheckpoint {
+		t.Error("terminal job reported HasCheckpoint")
+	}
+}
+
+// TestResultCache: put/get round trip, persistence across reopen, and
+// misses for unknown or empty keys.
+func TestResultCache(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir)
+
+	if _, ok := s.GetResult("nope"); ok {
+		t.Fatal("hit for unknown key")
+	}
+	if _, ok := s.GetResult(""); ok {
+		t.Fatal("hit for empty key")
+	}
+	r := &CachedResult{
+		Key: "bench=adaptec1|scale=0.01", Iterations: 200,
+		HPWL: 4242.25, Overflow: 0.0625,
+		X: []float64{1.5, 2.25}, Y: []float64{3.125, 4.0625},
+	}
+	if err := s.PutResult(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("CacheLen = %d, want 1", s.CacheLen())
+	}
+	got, ok := s.GetResult(r.Key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.HPWL != r.HPWL || got.Overflow != r.Overflow || got.Iterations != r.Iterations {
+		t.Errorf("round trip changed scalars: %+v", got)
+	}
+	for i := range r.X {
+		if got.X[i] != r.X[i] || got.Y[i] != r.Y[i] {
+			t.Errorf("round trip changed positions at %d", i)
+		}
+	}
+
+	if err := s.PutResult(&CachedResult{}); err == nil {
+		t.Error("PutResult accepted an empty key")
+	}
+
+	s.Close()
+	s2 := open(t, dir)
+	if s2.CacheLen() != 1 {
+		t.Fatalf("reopened CacheLen = %d, want 1", s2.CacheLen())
+	}
+	if got, ok := s2.GetResult(r.Key); !ok || got.HPWL != r.HPWL {
+		t.Fatalf("reopened GetResult = %+v, %v", got, ok)
+	}
+
+	// A corrupt cache file reads as a miss, never an error.
+	sum := s2.cachePath(r.Key)
+	if err := os.WriteFile(sum, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.GetResult(r.Key); ok {
+		t.Error("corrupt cache entry served as a hit")
+	}
+}
+
+// TestClosedStoreAppend: appends after Close fail loudly instead of
+// silently losing durability.
+func TestClosedStoreAppend(t *testing.T) {
+	s := open(t, t.TempDir())
+	s.Close()
+	if err := s.AppendBegin(1); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+}

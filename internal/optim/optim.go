@@ -9,6 +9,7 @@
 package optim
 
 import (
+	"fmt"
 	"math"
 
 	"xplace/internal/backend"
@@ -27,7 +28,62 @@ type Optimizer interface {
 	Step(e *kernel.Engine, gx, gy []float64)
 	// Current returns the best current solution (major point).
 	Current() (x, y []float64)
+	// State returns a serializable snapshot of the optimizer's mutable
+	// state (the checkpoint payload of a durable placement job). The
+	// snapshot owns its slices; later Steps do not alias into it.
+	State() State
+	// Restore replaces the optimizer's mutable state with a snapshot
+	// previously produced by State on an optimizer of the same kind and
+	// dimension. A restored optimizer continues the trajectory
+	// bit-identically.
+	Restore(st State) error
 }
+
+// State is the serializable mutable state of an optimizer, the
+// checkpoint/resume payload. Kind discriminates the concrete type;
+// Vectors and Vectors32 hold named per-cell series (only the fields the
+// kind uses are present). Float64 values round-trip encoding/json
+// exactly, so a JSON-serialized State resumes bit-identically.
+type State struct {
+	Kind string `json:"kind"` // "nesterov" | "adam"
+	Iter int    `json:"iter"`
+	// Nesterov: the Nesterov a_k sequence value.
+	A float64 `json:"a,omitempty"`
+	// Adam: the running beta powers for bias correction.
+	B1Pow float64 `json:"b1_pow,omitempty"`
+	B2Pow float64 `json:"b2_pow,omitempty"`
+	// Vectors: nesterov uses ux,uy,vx,vy,pvx,pvy,pgx,pgy; adam uses x,y
+	// plus (reference backend) mx,my,vx2,vy2.
+	Vectors map[string][]float64 `json:"vectors,omitempty"`
+	// Vectors32: adam moment state on a reduced-precision backend.
+	Vectors32 map[string][]float32 `json:"vectors32,omitempty"`
+}
+
+// vec fetches a named vector of the required length from a State.
+func (st State) vec(name string, n int) ([]float64, error) {
+	v, ok := st.Vectors[name]
+	if !ok {
+		return nil, fmt.Errorf("optim: state missing vector %q", name)
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("optim: state vector %q has %d entries, want %d", name, len(v), n)
+	}
+	return v, nil
+}
+
+func (st State) vec32(name string, n int) ([]float32, error) {
+	v, ok := st.Vectors32[name]
+	if !ok {
+		return nil, fmt.Errorf("optim: state missing float32 vector %q", name)
+	}
+	if len(v) != n {
+		return nil, fmt.Errorf("optim: state vector %q has %d entries, want %d", name, len(v), n)
+	}
+	return v, nil
+}
+
+func cloneF64(v []float64) []float64 { return append([]float64(nil), v...) }
+func cloneF32(v []float32) []float32 { return append([]float32(nil), v...) }
 
 // Bounds clamp cell centers into the legal placement area; entries are
 // per-cell [lo, hi] for each axis. Cells whose entry is lo > hi (fixed
@@ -197,6 +253,45 @@ func (o *Nesterov) Step(e *kernel.Engine, gx, gy []float64) {
 	o.iter++
 }
 
+// State snapshots the Nesterov trajectory: major/lookahead points, the
+// previous lookahead and gradient (the Barzilai-Borwein steplength
+// inputs), the a_k sequence value and the iteration count.
+func (o *Nesterov) State() State {
+	return State{
+		Kind: "nesterov",
+		Iter: o.iter,
+		A:    o.a,
+		Vectors: map[string][]float64{
+			"ux": cloneF64(o.ux), "uy": cloneF64(o.uy),
+			"vx": cloneF64(o.vx), "vy": cloneF64(o.vy),
+			"pvx": cloneF64(o.pvx), "pvy": cloneF64(o.pvy),
+			"pgx": cloneF64(o.pgx), "pgy": cloneF64(o.pgy),
+		},
+	}
+}
+
+// Restore replaces the trajectory with a snapshot taken by State.
+func (o *Nesterov) Restore(st State) error {
+	if st.Kind != "nesterov" {
+		return fmt.Errorf("optim: restoring %q state into Nesterov", st.Kind)
+	}
+	n := len(o.ux)
+	dst := map[string][]float64{
+		"ux": o.ux, "uy": o.uy, "vx": o.vx, "vy": o.vy,
+		"pvx": o.pvx, "pvy": o.pvy, "pgx": o.pgx, "pgy": o.pgy,
+	}
+	for name, d := range dst {
+		src, err := st.vec(name, n)
+		if err != nil {
+			return err
+		}
+		copy(d, src)
+	}
+	o.a = st.A
+	o.iter = st.Iter
+	return nil
+}
+
 // Adam implements the Adam optimizer over cell coordinates. On a
 // reduced-precision backend the first/second moment state is stored in
 // float32 (halving the optimizer-state traffic, the classic mixed-
@@ -292,6 +387,81 @@ func (o *Adam) Step(e *kernel.Engine, gx, gy []float64) {
 	o.vc = 1 / (1 - o.b2Pow)
 	o.stepGX, o.stepGY = gx, gy
 	e.Launch("optim.adam_step", len(o.x), o.stepBody)
+}
+
+// State snapshots the Adam iterate and moment estimates (float32 moments
+// when the optimizer was built on a reduced-precision backend).
+func (o *Adam) State() State {
+	st := State{
+		Kind:  "adam",
+		Iter:  o.iter,
+		B1Pow: o.b1Pow,
+		B2Pow: o.b2Pow,
+		Vectors: map[string][]float64{
+			"x": cloneF64(o.x), "y": cloneF64(o.y),
+		},
+	}
+	if o.mx32 != nil {
+		st.Vectors32 = map[string][]float32{
+			"mx": cloneF32(o.mx32), "my": cloneF32(o.my32),
+			"vx2": cloneF32(o.vxm32), "vy2": cloneF32(o.vym32),
+		}
+		return st
+	}
+	st.Vectors["mx"] = cloneF64(o.mx)
+	st.Vectors["my"] = cloneF64(o.my)
+	st.Vectors["vx2"] = cloneF64(o.vxm)
+	st.Vectors["vy2"] = cloneF64(o.vym)
+	return st
+}
+
+// Restore replaces the iterate and moments with a snapshot taken by
+// State. The snapshot's moment precision must match the optimizer's
+// backend (a float64-moment checkpoint does not restore into a float32
+// optimizer — rebuild the job on the backend it was checkpointed on).
+func (o *Adam) Restore(st State) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("optim: restoring %q state into Adam", st.Kind)
+	}
+	n := len(o.x)
+	for name, d := range map[string][]float64{"x": o.x, "y": o.y} {
+		src, err := st.vec(name, n)
+		if err != nil {
+			return err
+		}
+		copy(d, src)
+	}
+	if o.mx32 != nil {
+		if st.Vectors32 == nil {
+			return fmt.Errorf("optim: float64-moment checkpoint cannot restore into a float32 Adam")
+		}
+		for name, d := range map[string][]float32{
+			"mx": o.mx32, "my": o.my32, "vx2": o.vxm32, "vy2": o.vym32,
+		} {
+			src, err := st.vec32(name, n)
+			if err != nil {
+				return err
+			}
+			copy(d, src)
+		}
+	} else {
+		if st.Vectors32 != nil {
+			return fmt.Errorf("optim: float32-moment checkpoint cannot restore into a float64 Adam")
+		}
+		for name, d := range map[string][]float64{
+			"mx": o.mx, "my": o.my, "vx2": o.vxm, "vy2": o.vym,
+		} {
+			src, err := st.vec(name, n)
+			if err != nil {
+				return err
+			}
+			copy(d, src)
+		}
+	}
+	o.iter = st.Iter
+	o.b1Pow = st.B1Pow
+	o.b2Pow = st.B2Pow
+	return nil
 }
 
 // rmsNorm returns sqrt(mean(gx^2 + gy^2)) as one kernel. Only used for the

@@ -145,6 +145,23 @@ type Options struct {
 	// placement loop's goroutine; keep it cheap and do not call back into
 	// the placer from it.
 	Progress func(Snapshot)
+	// Resume, when non-nil, restores a mid-trajectory checkpoint into the
+	// freshly built placer: the run continues from the checkpointed
+	// iteration bit-identically to an uninterrupted run, provided the
+	// design, options and engine worker count match the checkpointing run
+	// (worker count fixes the kernel chunk boundaries and therefore the
+	// floating-point summation order).
+	Resume *Checkpoint
+	// CheckpointEvery, with the Checkpoint hook, makes the placer emit a
+	// durable resume point every N completed iterations (0 disables).
+	CheckpointEvery int
+	// Checkpoint receives the periodic checkpoints (the durable-job hook).
+	// Like Progress it runs on the placement loop's goroutine at an
+	// iteration boundary; the passed Checkpoint owns its memory and may be
+	// serialized asynchronously. Building a checkpoint copies the
+	// optimizer state, so this path is NOT allocation-free — leave it
+	// disabled for timing runs.
+	Checkpoint func(*Checkpoint)
 	// Tracer, when non-nil, records operator-group spans and per-iteration
 	// counter tracks (omega, lambda, gamma, overflow, HPWL). Attach the
 	// same tracer to the engine (Engine.SetTracer) to capture individual
@@ -258,12 +275,11 @@ type Placer struct {
 	exBlend        []float64 // NN-blended field scratch
 	eyBlend        []float64
 	agGX, agGY     []float64 // autograd backward scratch (lazy)
-	lastOverflow   float64
-	lastEnergy     float64
-	lastR          float64
-	lambdaInit     bool
-	iter           int
-	denseFromCache bool
+	lastOverflow float64
+	lastEnergy   float64
+	lastR        float64
+	lambdaInit   bool
+	iter         int
 
 	// Persistent kernel bodies with staged per-iteration parameters so the
 	// steady-state GP loop is allocation-free (per-call closures would
@@ -380,6 +396,12 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 	p.wl = wirelength.NewOps(e, aug, wlModel)
 	p.buildBodies()
 	p.initInstruments()
+	if opts.Resume != nil {
+		if err := p.restore(opts.Resume); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
@@ -580,12 +602,13 @@ func (p *Placer) RunContext(ctx context.Context) (*Result, error) {
 	}
 	p.ctx = ctx
 	defer func() { p.ctx = context.Background() }()
-	for {
+	// The stop test leads the iteration so a run resumed from a checkpoint
+	// taken at its natural end does not run an extra iteration. A fresh
+	// placer can never start done (iter 0 is below MinIter), so this is
+	// the same loop as the classic iterate-then-test form for new runs.
+	for !p.schd.Done(p.lastOverflow) {
 		if err := p.RunIteration(); err != nil {
 			return p.finalize(start), err
-		}
-		if p.schd.Done(p.lastOverflow) {
-			break
 		}
 	}
 	return p.finalize(start), nil
@@ -620,6 +643,10 @@ func (p *Placer) RunIteration() error {
 	}
 	if p.opts.Progress != nil {
 		p.opts.Progress(p.snapshot())
+	}
+	if p.opts.Checkpoint != nil && p.opts.CheckpointEvery > 0 &&
+		p.iter%p.opts.CheckpointEvery == 0 {
+		p.opts.Checkpoint(p.Checkpoint())
 	}
 	return nil
 }

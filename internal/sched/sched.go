@@ -229,6 +229,45 @@ func (s *Scheduler) Advance(hpwl, overflow float64) bool {
 	return true
 }
 
+// State is the serializable mutable state of a Scheduler — the part of
+// the parameter schedule a durable placement job must checkpoint to
+// resume bit-identically (Options, binSize and the omega map are
+// reconstructed from the job spec instead).
+type State struct {
+	Gamma       float64 `json:"gamma"`
+	Lambda      float64 `json:"lambda"`
+	Iter        int     `json:"iter"`
+	PrevHPWL    float64 `json:"prev_hpwl"`
+	BaseHPWL    float64 `json:"base_hpwl"`
+	Initialized bool    `json:"initialized"`
+	SinceUpdate int     `json:"since_update"`
+}
+
+// State snapshots the schedule's mutable state.
+func (s *Scheduler) State() State {
+	return State{
+		Gamma:       s.Gamma,
+		Lambda:      s.Lambda,
+		Iter:        s.iter,
+		PrevHPWL:    s.prevHPWL,
+		BaseHPWL:    s.baseHPWL,
+		Initialized: s.initialized,
+		SinceUpdate: s.sinceUpdate,
+	}
+}
+
+// Restore replaces the schedule's mutable state with a snapshot taken by
+// State on a scheduler built from the same Options and design.
+func (s *Scheduler) Restore(st State) {
+	s.Gamma = st.Gamma
+	s.Lambda = st.Lambda
+	s.iter = st.Iter
+	s.prevHPWL = st.PrevHPWL
+	s.baseHPWL = st.BaseHPWL
+	s.initialized = st.Initialized
+	s.sinceUpdate = st.SinceUpdate
+}
+
 // Done reports whether global placement should stop: the overflow target
 // is met after MinIter iterations, or MaxIter is exhausted.
 func (s *Scheduler) Done(overflow float64) bool {

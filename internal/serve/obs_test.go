@@ -16,7 +16,7 @@ import (
 // consumers and the final result can never disagree about how far a job
 // got.
 func TestSnapshotIterMatchesResultIterations(t *testing.T) {
-	s := New(Options{Engines: 3, QueueCap: 8, EngineWorkers: 1, LaunchOverhead: 0, History: 100000})
+	s := mustNew(t, Options{Engines: 3, QueueCap: 8, EngineWorkers: 1, LaunchOverhead: 0, History: 100000})
 	defer s.Shutdown(context.Background())
 
 	check := func(name string, j *Job, wantErr error) {
@@ -82,7 +82,7 @@ func TestSnapshotIterMatchesResultIterations(t *testing.T) {
 // operator trace (kernels, groups and counter tracks) exportable as valid
 // Chrome trace_event JSON, while untraced jobs carry no tracer.
 func TestPerJobTrace(t *testing.T) {
-	s := New(Options{Engines: 1, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
+	s := mustNew(t, Options{Engines: 1, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
 	defer s.Shutdown(context.Background())
 
 	d := testDesign(t, 150, 21)
@@ -141,7 +141,7 @@ func TestPerJobTrace(t *testing.T) {
 // registry carries the runtime series, the per-engine gauges and the
 // placer's paper-optimization series, without touching job locks.
 func TestSchedulerRegistryExposition(t *testing.T) {
-	s := New(Options{Engines: 2, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
+	s := mustNew(t, Options{Engines: 2, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
 	defer s.Shutdown(context.Background())
 
 	j, err := s.Submit(Spec{Design: testDesign(t, 150, 31), Options: testOpts(25)})

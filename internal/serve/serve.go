@@ -26,11 +26,14 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"xplace/internal/jobstore"
 	"xplace/internal/kernel"
 	"xplace/internal/netlist"
 	"xplace/internal/obs"
@@ -99,6 +102,20 @@ type Spec struct {
 	// endpoint). Tracing buffers every kernel launch in memory; reserve it
 	// for diagnosis, not fleet-wide defaults.
 	Trace bool
+	// Payload is the job's durable, replayable form — the tiny spec the
+	// design and options were derived from (e.g. the daemon's canonical
+	// request JSON), NOT the expanded netlist. When the scheduler has a
+	// store, Payload is written to the WAL at submission and handed to
+	// Options.Rehydrate after a restart to rebuild this Spec. Empty payload
+	// = job is not recoverable (it is still durable as a terminal record).
+	Payload []byte
+	// Key is the job's content address for the result cache: identical
+	// (design, options) submissions must produce identical keys. When the
+	// scheduler has a store and Key is non-empty, a succeeded job's result
+	// is cached under Key and later submissions with the same Key are
+	// served from the cache without running an engine. Empty disables
+	// caching for this job.
+	Key string
 }
 
 // Options configures a Scheduler.
@@ -122,6 +139,19 @@ type Options struct {
 	// to (and hands to every job's placer for the xplace_* series). Nil
 	// creates a private registry, retrievable with Scheduler.Registry.
 	Metrics *obs.Registry
+	// Store makes the scheduler durable: job transitions are written to the
+	// store's WAL, running jobs checkpoint every CheckpointEvery iterations,
+	// succeeded keyed jobs populate the result cache, and New replays the
+	// WAL — re-enqueuing every job that never reached a terminal state,
+	// resuming checkpointed ones mid-trajectory. Nil = fully in-memory.
+	Store *jobstore.Store
+	// Rehydrate rebuilds a Spec from the durable payload recorded at
+	// submission. Required for recovery: a non-terminal recovered job with
+	// no working Rehydrate is marked failed rather than silently dropped.
+	Rehydrate func(payload []byte) (Spec, error)
+	// CheckpointEvery is the running-job checkpoint period in GP iterations
+	// (default 25 when a Store is set; <0 disables checkpointing).
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +163,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.History <= 0 {
 		o.History = 512
+	}
+	if o.Store != nil && o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 25
 	}
 	return o
 }
@@ -146,6 +179,10 @@ type Job struct {
 
 	cancel context.CancelFunc // fires the job's base context
 	base   context.Context
+
+	cached    bool // result served from the store's result cache
+	recovered bool // job re-materialized from the WAL after a restart
+	resumed   bool // recovered mid-trajectory from a checkpoint
 
 	mu        sync.Mutex
 	state     State
@@ -182,6 +219,13 @@ type Status struct {
 	Iterations int
 	HPWL       float64
 	Overflow   float64
+	// Cached: the result came from the durable result cache — no engine ran.
+	Cached bool
+	// Recovered: the job was re-materialized from the WAL after a restart;
+	// Resumed additionally means it continued mid-trajectory from a
+	// checkpoint rather than restarting at iteration 0.
+	Recovered bool
+	Resumed   bool
 }
 
 // ID returns the job id assigned at submission.
@@ -229,6 +273,9 @@ func (j *Job) Status() Status {
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,
+		Cached:    j.cached,
+		Recovered: j.recovered,
+		Resumed:   j.resumed,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -331,13 +378,12 @@ func (j *Job) begin() bool {
 	return true
 }
 
-// finish moves the job to its terminal state, classifying the error. It
-// reports whether this call performed the transition (false when another
-// goroutine — e.g. Cancel racing the worker — got there first).
-func (j *Job) finish(res *placer.Result, err error) bool {
-	j.mu.Lock()
+// finishLocked moves the job to its terminal state, classifying the
+// error. It requires j.mu held and reports whether this call performed
+// the transition; when it returns true the caller must close(j.done)
+// after releasing the lock.
+func (j *Job) finishLocked(res *placer.Result, err error) bool {
 	if j.state.Terminal() {
-		j.mu.Unlock()
 		return false
 	}
 	j.result, j.err = res, err
@@ -356,9 +402,42 @@ func (j *Job) finish(res *placer.Result, err error) bool {
 		delete(j.subs, id)
 		close(ch)
 	}
-	j.mu.Unlock()
-	close(j.done)
 	return true
+}
+
+// finish moves the job to its terminal state. It reports whether this
+// call performed the transition (false when another goroutine — e.g.
+// Cancel racing the worker — got there first).
+func (j *Job) finish(res *placer.Result, err error) bool {
+	j.mu.Lock()
+	ok := j.finishLocked(res, err)
+	j.mu.Unlock()
+	if ok {
+		close(j.done)
+	}
+	return ok
+}
+
+// cancelIfQueued atomically moves a still-queued job to Canceled. The
+// check and the transition happen under one j.mu hold, so it cannot race
+// begin: either this call wins and the worker's begin sees a terminal
+// state (and skips the run), or begin wins and the running job is left
+// to its context cancellation. This closes the historical check-then-act
+// window where Cancel observed Queued, a worker began the job, and the
+// unlocked finish then marked a *running* job Canceled while the placer
+// kept going — discarding its eventual partial result.
+func (j *Job) cancelIfQueued() bool {
+	j.mu.Lock()
+	if j.state != Queued {
+		j.mu.Unlock()
+		return false
+	}
+	ok := j.finishLocked(nil, context.Canceled)
+	j.mu.Unlock()
+	if ok {
+		close(j.done)
+	}
+	return ok
 }
 
 // Counters is a snapshot of the scheduler's cumulative accounting.
@@ -387,40 +466,79 @@ type EngineStatus struct {
 // scheduler updates — no parallel hand-rolled counter set.
 type Scheduler struct {
 	opts    Options
+	store   *jobstore.Store
 	queue   chan *Job
 	engines []*kernel.Engine
 	wg      sync.WaitGroup
+	drained chan struct{} // closed once all workers have exited
 
 	mu       sync.Mutex
 	jobs     map[int64]*Job
 	nextID   int64
 	draining bool
+	drainErr error // first Shutdown outcome, repeated to later callers
 
-	reg        *obs.Registry
-	submitted  *obs.Counter
-	rejected   *obs.Counter
-	succeeded  *obs.Counter
-	failed     *obs.Counter
-	canceled   *obs.Counter
-	timedOut   *obs.Counter
-	active     *obs.Gauge
-	iterations *obs.Counter
-	launches   *obs.Counter
-	jobSeconds *obs.Histogram
+	reg         *obs.Registry
+	submitted   *obs.Counter
+	rejected    *obs.Counter
+	succeeded   *obs.Counter
+	failed      *obs.Counter
+	canceled    *obs.Counter
+	timedOut    *obs.Counter
+	active      *obs.Gauge
+	iterations  *obs.Counter
+	launches    *obs.Counter
+	jobSeconds  *obs.Histogram
+	walAppends  *obs.Counter
+	checkpoints *obs.Counter
+	storeErrors *obs.Counter
+	recovered   *obs.Counter
+	resumed     *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
-// New starts a scheduler with its engine pool and worker set.
-func New(opts Options) *Scheduler {
+// New starts a scheduler with its engine pool and worker set. With
+// Options.Store set it first replays the store's WAL: every job that
+// never reached a terminal state is rebuilt via Options.Rehydrate and
+// re-enqueued (ahead of any new submission), jobs with a checkpoint
+// resume mid-trajectory, and terminal jobs re-appear in Jobs() as
+// recovered history. The error is non-nil only for a store-level replay
+// failure; a job that cannot be rehydrated is marked failed instead of
+// blocking startup.
+func New(opts Options) (*Scheduler, error) {
 	o := opts.withDefaults()
 	reg := o.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	var recov []jobstore.JobRecord
+	queueCap := o.QueueCap
+	if o.Store != nil {
+		var err error
+		recov, err = o.Store.Recover()
+		if err != nil {
+			return nil, err
+		}
+		// The recovered backlog must fit the queue regardless of QueueCap:
+		// recovery re-enqueues jobs that were already accepted once.
+		pending := 0
+		for _, r := range recov {
+			if !r.Terminal() {
+				pending++
+			}
+		}
+		if pending > queueCap {
+			queueCap = pending
+		}
+	}
 	s := &Scheduler{
-		opts:  o,
-		queue: make(chan *Job, o.QueueCap),
-		jobs:  make(map[int64]*Job),
-		reg:   reg,
+		opts:    o,
+		store:   o.Store,
+		queue:   make(chan *Job, queueCap),
+		jobs:    make(map[int64]*Job),
+		drained: make(chan struct{}),
+		reg:     reg,
 	}
 	s.submitted = reg.Counter("xserve_jobs_submitted", "jobs accepted by Submit")
 	s.rejected = reg.Counter("xserve_jobs_rejected", "jobs rejected by a full queue")
@@ -434,6 +552,18 @@ func New(opts Options) *Scheduler {
 	s.iterations = reg.Counter("xserve_gp_iterations_total", "GP iterations across finished jobs")
 	s.launches = reg.Counter("xserve_kernel_launches_total", "kernel launches across finished jobs")
 	s.jobSeconds = reg.Histogram("xserve_job_seconds", "job run time (start to finish)", nil)
+	s.walAppends = reg.Counter("xserve_store_wal_appends_total", "records appended to the job WAL")
+	s.checkpoints = reg.Counter("xserve_store_checkpoints_total", "placer checkpoints written to the store")
+	s.storeErrors = reg.Counter("xserve_store_errors_total", "job store operations that failed")
+	s.recovered = reg.Counter("xserve_store_recovered_jobs", "non-terminal jobs re-enqueued on startup")
+	s.resumed = reg.Counter("xserve_store_resumed_jobs", "recovered jobs resumed from a checkpoint")
+	s.cacheHits = reg.Counter("xserve_cache_hits_total", "submissions served from the result cache")
+	s.cacheMisses = reg.Counter("xserve_cache_misses_total", "keyed submissions that missed the result cache")
+	if s.store != nil {
+		reg.GaugeFunc("xserve_cache_entries", "results in the durable cache",
+			func() float64 { return float64(s.store.CacheLen()) })
+	}
+	s.recoverJobs(recov)
 	for i := 0; i < o.Engines; i++ {
 		eng := kernel.New(kernel.Options{
 			Workers:        o.EngineWorkers,
@@ -444,7 +574,97 @@ func New(opts Options) *Scheduler {
 		s.wg.Add(1)
 		go s.worker(eng)
 	}
-	return s
+	return s, nil
+}
+
+// recoverJobs re-materializes WAL jobs before the workers start: terminal
+// records become visible history, non-terminal ones go back on the queue
+// (in their original submission order, ahead of any new submission).
+func (s *Scheduler) recoverJobs(recov []jobstore.JobRecord) {
+	for _, r := range recov {
+		if r.ID > s.nextID {
+			s.nextID = r.ID
+		}
+		j := &Job{
+			id:        r.ID,
+			label:     r.Label,
+			recovered: true,
+			snaps:     make([]placer.Snapshot, s.opts.History),
+			subs:      make(map[int]chan placer.Snapshot),
+			submitted: r.Submitted,
+			done:      make(chan struct{}),
+		}
+		s.jobs[r.ID] = j
+		if r.Terminal() {
+			// History only: restore the terminal state without recounting it
+			// in this process's lifecycle counters.
+			j.state = stateFromString(r.State)
+			j.cached = r.Cached
+			j.started, j.finished = r.Started, r.Finished
+			if r.Err != "" {
+				j.err = errors.New(r.Err)
+			}
+			if j.state == Succeeded {
+				j.result = &placer.Result{
+					Iterations: r.Iterations, HPWL: r.HPWL, Overflow: r.Overflow,
+				}
+			}
+			close(j.done)
+			continue
+		}
+		base, cancel := context.WithCancel(context.Background())
+		j.base, j.cancel = base, cancel
+		spec, err := s.rehydrate(r)
+		if err != nil {
+			s.jobFinished(j, nil, fmt.Errorf("serve: recovering job %d: %w", r.ID, err))
+			continue
+		}
+		if spec.Options.Resume != nil {
+			j.resumed = true
+			s.resumed.Inc()
+		}
+		j.spec = spec
+		s.recovered.Inc()
+		s.queue <- j // cap sized to the backlog in New; never blocks
+	}
+}
+
+// rehydrate rebuilds a recovered job's Spec from its durable payload and
+// attaches the newest checkpoint, if one exists.
+func (s *Scheduler) rehydrate(r jobstore.JobRecord) (Spec, error) {
+	if s.opts.Rehydrate == nil {
+		return Spec{}, errors.New("no Rehydrate hook configured")
+	}
+	if len(r.Payload) == 0 {
+		return Spec{}, errors.New("no durable payload recorded")
+	}
+	spec, err := s.opts.Rehydrate(r.Payload)
+	if err != nil {
+		return Spec{}, err
+	}
+	spec.Payload = append([]byte(nil), r.Payload...)
+	spec.Key = r.Key
+	spec.Label = r.Label
+	if r.HasCheckpoint {
+		if b, ok := s.store.LoadCheckpoint(r.ID); ok {
+			var cp placer.Checkpoint
+			if json.Unmarshal(b, &cp) == nil {
+				spec.Options.Resume = &cp
+			}
+			// An unreadable checkpoint restarts the job from iteration 0 —
+			// correctness over speed.
+		}
+	}
+	return spec, nil
+}
+
+func stateFromString(st string) State {
+	for _, s := range []State{Queued, Running, Succeeded, Failed, Canceled, TimedOut} {
+		if s.String() == st {
+			return s
+		}
+	}
+	return Failed
 }
 
 // registerEngineGauges publishes one pooled engine's live accounting as
@@ -496,6 +716,15 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	// Result-cache lookup: an identical prior submission (same content key)
+	// finishes the job immediately from the durable cache — no queue slot,
+	// no engine, no GP iterations.
+	var hit *jobstore.CachedResult
+	if s.store != nil && spec.Key != "" {
+		if cr, ok := s.store.GetResult(spec.Key); ok {
+			hit = cr
+		}
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -504,18 +733,52 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	}
 	s.nextID++
 	j.id = s.nextID
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		cancel()
-		s.rejected.Inc()
-		return nil, ErrQueueFull
+	if hit == nil {
+		select {
+		case s.queue <- j:
+		default:
+			s.mu.Unlock()
+			cancel()
+			s.rejected.Inc()
+			return nil, ErrQueueFull
+		}
+	} else {
+		j.cached = true
 	}
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 	s.submitted.Inc()
+	if s.store != nil && spec.Key != "" {
+		if hit != nil {
+			s.cacheHits.Inc()
+		} else {
+			s.cacheMisses.Inc()
+		}
+	}
+	s.walAppend(func() error {
+		return s.store.AppendSubmit(j.id, spec.Label, spec.Payload, spec.Key)
+	})
+	if hit != nil {
+		s.jobFinished(j, &placer.Result{
+			X: hit.X, Y: hit.Y,
+			HPWL: hit.HPWL, Overflow: hit.Overflow, Iterations: hit.Iterations,
+		}, nil)
+	}
 	return j, nil
+}
+
+// walAppend runs one WAL append when the scheduler is durable, folding
+// failures into the store-error counter (the job proceeds regardless —
+// losing a WAL record degrades recovery, not the placement).
+func (s *Scheduler) walAppend(fn func() error) {
+	if s.store == nil {
+		return
+	}
+	if err := fn(); err != nil {
+		s.storeErrors.Inc()
+		return
+	}
+	s.walAppends.Inc()
 }
 
 // Job looks a job up by id.
@@ -526,7 +789,8 @@ func (s *Scheduler) Job(id int64) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns every known job, newest first.
+// Jobs returns every known job, newest first (descending id — ids are
+// assigned in submission order and recovery preserves them).
 func (s *Scheduler) Jobs() []*Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -534,9 +798,7 @@ func (s *Scheduler) Jobs() []*Job {
 	for _, j := range s.jobs {
 		out = append(out, j)
 	}
-	for i, k := 0, len(out)-1; i < k; i, k = i+1, k-1 {
-		out[i], out[k] = out[k], out[i]
-	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id > out[b].id })
 	return out
 }
 
@@ -550,13 +812,12 @@ func (s *Scheduler) Cancel(id int64) bool {
 	}
 	j.cancel()
 	// A queued job has no worker to notice the context; finish it here so
-	// Cancel is immediate regardless of queue position. (finish is a no-op
-	// if a worker got there first or the job already ended.)
-	j.mu.Lock()
-	queued := j.state == Queued
-	j.mu.Unlock()
-	if queued {
-		s.jobFinished(j, nil, context.Canceled)
+	// Cancel is immediate regardless of queue position. The queued check
+	// and the terminal transition are one atomic step (see cancelIfQueued),
+	// so a worker's racing begin either sees the cancelled state or wins
+	// outright and leaves the run to its context.
+	if j.cancelIfQueued() {
+		s.recordFinish(j, nil)
 	}
 	return true
 }
@@ -567,7 +828,14 @@ func (s *Scheduler) jobFinished(j *Job, res *placer.Result, err error) {
 	if !j.finish(res, err) {
 		return // another goroutine (Cancel vs worker) won the transition
 	}
-	switch st := j.Status().State; st {
+	s.recordFinish(j, res)
+}
+
+// recordFinish updates counters and the durable store after a terminal
+// transition this goroutine performed.
+func (s *Scheduler) recordFinish(j *Job, res *placer.Result) {
+	st := j.Status()
+	switch st.State {
 	case Succeeded:
 		s.succeeded.Inc()
 	case Failed:
@@ -577,13 +845,31 @@ func (s *Scheduler) jobFinished(j *Job, res *placer.Result, err error) {
 	case TimedOut:
 		s.timedOut.Inc()
 	}
-	if res != nil {
+	if res != nil && !j.cached {
+		// Cache hits burn no engine: the pre-computed result must not count
+		// as new GP work.
 		s.iterations.Add(int64(res.Iterations))
 		s.launches.Add(res.Stats.Launches)
 	}
-	if st := j.Status(); !st.Started.IsZero() && !st.Finished.IsZero() {
+	if !st.Started.IsZero() && !st.Finished.IsZero() {
 		s.jobSeconds.Observe(st.Finished.Sub(st.Started).Seconds())
 	}
+	if s.store == nil {
+		return
+	}
+	if st.State == Succeeded && !j.cached && j.spec.Key != "" && res != nil {
+		if err := s.store.PutResult(&jobstore.CachedResult{
+			Key: j.spec.Key, Iterations: res.Iterations,
+			HPWL: res.HPWL, Overflow: res.Overflow, X: res.X, Y: res.Y,
+		}); err != nil {
+			s.storeErrors.Inc()
+		}
+	}
+	s.walAppend(func() error {
+		return s.store.AppendFinish(j.id, st.State.String(), st.Err,
+			st.Iterations, st.HPWL, st.Overflow, j.cached)
+	})
+	s.store.RemoveCheckpoint(j.id)
 }
 
 // worker owns one engine and drains the queue until Shutdown closes it.
@@ -602,6 +888,7 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 	}
 	s.active.Add(1)
 	defer s.active.Add(-1)
+	s.walAppend(func() error { return s.store.AppendBegin(j.id) })
 
 	timeout := j.spec.Timeout
 	if timeout == 0 {
@@ -617,6 +904,23 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 	opts := j.spec.Options
 	opts.Progress = j.observe
 	opts.Metrics = s.reg
+	if s.store != nil && s.opts.CheckpointEvery > 0 {
+		// Durable resume point every CheckpointEvery iterations. The write
+		// happens on the worker goroutine between iterations; a failed write
+		// only widens the redo window after a crash.
+		opts.CheckpointEvery = s.opts.CheckpointEvery
+		opts.Checkpoint = func(cp *placer.Checkpoint) {
+			b, err := json.Marshal(cp)
+			if err == nil {
+				err = s.store.WriteCheckpoint(j.id, b)
+			}
+			if err != nil {
+				s.storeErrors.Inc()
+				return
+			}
+			s.checkpoints.Inc()
+		}
+	}
 	if j.spec.Trace {
 		// Per-job trace: the tracer sees this engine's launches only while
 		// this job runs (workers run one job at a time), so the trace window
@@ -640,38 +944,65 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 	s.jobFinished(j, res, err)
 }
 
+// Draining reports whether Shutdown has begun (new submissions are being
+// rejected with ErrDraining). Long-lived streams — the daemon's SSE
+// handlers — poll this to close out before the drain finishes.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Shutdown stops intake and drains the scheduler: queued and running jobs
 // are allowed to finish until ctx is done, at which point every remaining
 // job is cancelled. It returns once all workers have exited and the pooled
 // engines are closed; the error is ctx.Err() when the drain was cut short.
-// Shutdown is idempotent (later calls return immediately).
+//
+// Shutdown is idempotent AND every call honors its own ctx: a repeat call
+// whose ctx expires mid-drain cancels the remaining jobs and returns
+// ctx.Err() instead of blocking unboundedly, and a repeat call after the
+// drain completed returns the recorded first outcome rather than
+// swallowing it.
 func (s *Scheduler) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		s.wg.Wait()
-		return nil
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // workers exit after draining remaining jobs
+		go func() {
+			s.wg.Wait()
+			close(s.drained)
+		}()
 	}
-	s.draining = true
-	close(s.queue) // workers exit after draining remaining jobs
 	s.mu.Unlock()
 
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	var err error
+	recorded := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.drainErr
+	}
 	select {
-	case <-done:
+	case <-s.drained:
+		return recorded()
 	case <-ctx.Done():
-		err = ctx.Err()
+		select {
+		case <-s.drained: // drain finished as ctx expired; its outcome stands
+			return recorded()
+		default:
+		}
+		// Record the cut-short outcome BEFORE cancelling, so every caller —
+		// including one blocked on a still-valid ctx — reports the drain as
+		// cut short once it unblocks.
+		s.mu.Lock()
+		if s.drainErr == nil {
+			s.drainErr = ctx.Err()
+		}
+		s.mu.Unlock()
 		for _, j := range s.Jobs() {
 			s.Cancel(j.ID())
 		}
-		<-done // cancellation aborts jobs between launches; workers exit
+		<-s.drained // cancellation aborts jobs between launches; workers exit
+		return ctx.Err()
 	}
-	return err
 }
 
 // Counters returns the cumulative scheduler accounting (a typed view over

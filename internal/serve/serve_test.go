@@ -44,6 +44,16 @@ func testDesign(tb testing.TB, n int, seed int64) *netlist.Design {
 	return d
 }
 
+// mustNew builds a scheduler, failing the test on a recovery error.
+func mustNew(tb testing.TB, opts Options) *Scheduler {
+	tb.Helper()
+	s, err := New(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
 func testOpts(maxIter int) placer.Options {
 	o := placer.Defaults()
 	o.GridSize = 32
@@ -88,7 +98,7 @@ func TestJobRuntimeAcceptance(t *testing.T) {
 	baseG := runtime.NumGoroutine()
 
 	const engineWorkers = 2
-	s := New(Options{
+	s := mustNew(t, Options{
 		Engines:        4,
 		QueueCap:       4,
 		EngineWorkers:  engineWorkers,
@@ -227,7 +237,7 @@ func TestJobRuntimeAcceptance(t *testing.T) {
 }
 
 func TestSubmitBackpressure(t *testing.T) {
-	s := New(Options{Engines: 1, QueueCap: 1, EngineWorkers: 1, LaunchOverhead: 0})
+	s := mustNew(t, Options{Engines: 1, QueueCap: 1, EngineWorkers: 1, LaunchOverhead: 0})
 	d := testDesign(t, 800, 3)
 	long := Spec{Design: d, Options: testOpts(100000)}
 
@@ -267,7 +277,7 @@ func TestSubmitBackpressure(t *testing.T) {
 
 func TestShutdownCancelsWhenContextExpires(t *testing.T) {
 	baseG := runtime.NumGoroutine()
-	s := New(Options{Engines: 1, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
+	s := mustNew(t, Options{Engines: 1, QueueCap: 4, EngineWorkers: 1, LaunchOverhead: 0})
 	d := testDesign(t, 800, 4)
 	j, err := s.Submit(Spec{Design: d, Options: testOpts(100000)})
 	if err != nil {
@@ -293,7 +303,7 @@ func TestShutdownCancelsWhenContextExpires(t *testing.T) {
 }
 
 func TestSubmitAfterShutdownRejected(t *testing.T) {
-	s := New(Options{Engines: 1, QueueCap: 1, LaunchOverhead: 0})
+	s := mustNew(t, Options{Engines: 1, QueueCap: 1, LaunchOverhead: 0})
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +318,7 @@ func TestSubmitAfterShutdownRejected(t *testing.T) {
 }
 
 func TestSubscribeStreamsProgressAndCloses(t *testing.T) {
-	s := New(Options{Engines: 1, QueueCap: 2, EngineWorkers: 1, LaunchOverhead: 0, History: 8})
+	s := mustNew(t, Options{Engines: 1, QueueCap: 2, EngineWorkers: 1, LaunchOverhead: 0, History: 8})
 	defer s.Shutdown(context.Background())
 
 	d := testDesign(t, 100, 6)
