@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test test-float32 race test-recovery bench fuzz-smoke bench-trajectory bench-smoke check
+.PHONY: all vet build test test-float32 race test-recovery test-oracle bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -29,7 +29,16 @@ race:
 # bit-identical resumed trajectories — all under the race detector.
 test-recovery:
 	$(GO) test -race ./internal/jobstore ./internal/serve
-	$(GO) test -race -run 'TestKillRestartRecovery|TestEventsCloseOnDrain|TestCachedSubmissionOverHTTP|TestSubmitValidation' -v ./cmd/xserve
+	$(GO) test -race -run 'TestKillRestartRecovery|TestEventsCloseOnDrain|TestCachedSubmissionOverHTTP|TestSubmitValidation|TestDivergenceFallbackOverHTTP' -v ./cmd/xserve
+
+# Cross-strategy quality oracle: two structurally independent placers
+# (Nesterov gradient flow vs LB/UB alternation) must agree on scaled
+# adaptec1 within the checked-in band, the LB/UB side must be bit-identical
+# run to run, and a diverging job must be rescued end-to-end by the
+# serve-level lbub fallback.
+test-oracle:
+	$(GO) test -run 'TestOracle|TestLBUB|TestNesterovDiverges' -v ./internal/placer
+	$(GO) test -run 'TestDivergenceFallbackOverHTTP|TestLBUBJobOverHTTP|TestStrategyInCacheKey' -v ./cmd/xserve
 
 # Short fuzz pass over the file-format parsers: each target gets a few
 # seconds on top of its seed corpus. Catches parser panics (negative or
@@ -46,14 +55,14 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/kernel ./internal/dct
 
-# Bench trajectory: the pinned seven-config run (DREAMPlace-style baseline,
-# Xplace without operator combination, full Xplace, plus the compute-backend
+# Bench trajectory: the pinned eight-config run (DREAMPlace-style baseline,
+# Xplace without operator combination, full Xplace, the compute-backend
 # ablation: float32, spectral truncation, adaptive grid, and all three
-# combined) on adaptec1, written as a machine-readable record with the
-# poisson512 micro timings. Re-baselining BENCH_6.json is a deliberate act:
-# run this target and commit the diff alongside the change that moved the
-# numbers.
-BENCH_BASELINE ?= BENCH_6.json
+# combined, plus the LB/UB alternation strategy) on adaptec1, written as a
+# machine-readable record with the poisson512 micro timings. Re-baselining
+# BENCH_7.json is a deliberate act: run this target and commit the diff
+# alongside the change that moved the numbers.
+BENCH_BASELINE ?= BENCH_7.json
 bench-trajectory:
 	$(GO) run ./cmd/xbench -json $(BENCH_BASELINE)
 

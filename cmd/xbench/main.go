@@ -60,7 +60,21 @@ var (
 	checkTol  = flag.Float64("check-tol", 0.05, "HPWL regression tolerance for -check (0.05 = 5%)")
 	benchNote = flag.String("note", "", "free-form note stored in the -json record")
 	backendN  = flag.String("backend", "", "compute backend for the table/figure runs: float64 | float32 (default follows XPLACE_BACKEND; the pinned trajectory configs set their own)")
+	strategyN = flag.String("strategy", "", "GP strategy for the Xplace table rows: nesterov | lbub (the pinned trajectory configs set their own)")
 )
+
+// runStrategy is the parsed -strategy choice applied to the Xplace rows of
+// the flow tables and the substrate report (the default Strategy zero
+// value when the flag is unset).
+var runStrategy xplace.Strategy
+
+// defaultPlacement is xplace.DefaultPlacement with the -strategy override
+// applied.
+func defaultPlacement() xplace.PlacementOptions {
+	o := xplace.DefaultPlacement()
+	o.Strategy = runStrategy
+	return o
+}
 
 func engine() *kernel.Engine {
 	return kernel.New(kernel.Options{
@@ -82,6 +96,12 @@ func main() {
 		// The pinned trajectory configs are unaffected: they set an
 		// explicit Backend so the gate never depends on the environment.
 		os.Setenv(backend.EnvVar, *backendN)
+	}
+	if st, err := xplace.ParseStrategy(*strategyN); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(2)
+	} else {
+		runStrategy = st
 	}
 	if *jsonOut != "" || *checkRec != "" {
 		benchTrajectory()
@@ -141,14 +161,29 @@ const (
 // the to-convergence tests apply).
 const trajF32Tol = 0.05
 
+// In-trajectory cross-strategy band: at the pinned round count the LB/UB
+// oracle's rough-legalized HPWL sits well above the mid-convergence
+// gradient flow (the flow's cells have not spread yet — overflow ~0.8 —
+// while the UB is already fully binned; measured ratio ~3.8). The band is
+// deliberately coarse: the tight quality gate is the to-convergence oracle
+// test (make test-oracle); this one only catches a strategy collapsing or
+// exploding inside the bench lane.
+const (
+	trajLBUBRatioHigh = 6.0
+	trajLBUBRatioLow  = 2.0
+)
+
 // trajConfigs are the placer configurations the trajectory compares. The
 // first three reproduce the paper's operator ablation: the DREAMPlace-style
 // autograd baseline, Xplace with operator combination (OC) disabled, and
 // full Xplace — the launch-count gap between the last two is the OC saving
 // (§3.1.1) made machine-checkable. The remaining four isolate the compute-
 // backend fast path: float32 precision alone, spectral truncation alone,
-// the adaptive bin grid alone, and all three together. Every config pins
-// its Backend explicitly so the record never depends on XPLACE_BACKEND.
+// the adaptive bin grid alone, and all three together. The final config
+// runs the LB/UB alternation strategy (the CI quality oracle) on the same
+// pinned design so the record tracks both placement algorithms. Every
+// config pins its Backend explicitly so the record never depends on
+// XPLACE_BACKEND.
 func trajConfigs() []struct {
 	name string
 	opts xplace.PlacementOptions
@@ -172,6 +207,8 @@ func trajConfigs() []struct {
 	fast.Backend = xplace.Float32Backend()
 	fast.SpectralTruncation = true
 	fast.AdaptiveGrid = true
+	lbub := ref()
+	lbub.Strategy = xplace.StrategyLBUB
 	return []struct {
 		name string
 		opts xplace.PlacementOptions
@@ -183,6 +220,7 @@ func trajConfigs() []struct {
 		{"xplace-trunc", trunc},
 		{"xplace-adaptive", adaptive},
 		{"xplace-fast", fast},
+		{"xplace-lbub", lbub},
 	}
 }
 
@@ -252,6 +290,16 @@ func benchTrajectory() {
 			if rel := abs(f32.HPWL-fused.HPWL) / fused.HPWL; rel > trajF32Tol {
 				fmt.Fprintf(os.Stderr, "xbench: float32 drift: HPWL %.6g vs float64 %.6g (%.1f%% > %.0f%%)\n",
 					f32.HPWL, fused.HPWL, rel*100, trajF32Tol*100)
+				os.Exit(1)
+			}
+		}
+		// Cross-strategy gate: the LB/UB oracle runs a structurally
+		// different algorithm on the same pinned design; a ratio outside
+		// the coarse band means one of the two placers broke.
+		if lbub, ok := rec.Run("xplace-lbub"); ok {
+			if ratio := lbub.HPWL / fused.HPWL; ratio > trajLBUBRatioHigh || ratio < trajLBUBRatioLow {
+				fmt.Fprintf(os.Stderr, "xbench: cross-strategy drift: lbub HPWL %.6g vs xplace %.6g (ratio %.2f outside [%.1f, %.1f])\n",
+					lbub.HPWL, fused.HPWL, ratio, trajLBUBRatioLow, trajLBUBRatioHigh)
 				os.Exit(1)
 			}
 		}
@@ -411,7 +459,7 @@ func substrateReport() {
 		name string
 		opts xplace.PlacementOptions
 	}{
-		{"Xplace", xplace.DefaultPlacement()},
+		{"Xplace", defaultPlacement()},
 		{"DREAMPlace-style baseline", xplace.BaselinePlacement()},
 	} {
 		e := engine()
@@ -523,7 +571,7 @@ func table2() {
 		base.Seed = *seed
 		rb := runFlow(d, base, nil)
 
-		xp := xplace.DefaultPlacement()
+		xp := defaultPlacement()
 		xp.Seed = *seed
 		rx := runFlow(d, xp, nil)
 
@@ -658,7 +706,7 @@ func table4() {
 		base := xplace.BaselinePlacement()
 		base.Seed = *seed
 		rb := runFlow(d, base, route)
-		xp := xplace.DefaultPlacement()
+		xp := defaultPlacement()
 		xp.Seed = *seed
 		rx := runFlow(d, xp, route)
 		fmt.Printf("%-16s | %12.4g %8.2f %8.2f %8.2f | %12.4g %8.2f %8.2f %8.2f\n",

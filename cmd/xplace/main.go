@@ -34,6 +34,8 @@ func main() {
 		aux       = flag.String("aux", "", "bookshelf .aux input file (deprecated alias of -in)")
 		mode      = flag.String("mode", "xplace", "GP engine: xplace | baseline | xplace-nn")
 		backendN  = flag.String("backend", "", "compute backend: float64 (exact reference) | float32 (fast path); default follows XPLACE_BACKEND")
+		strategy  = flag.String("strategy", "", "GP strategy: nesterov (default gradient flow) | lbub (LB/UB alternation draft tier)")
+		effort    = flag.Int("effort", 0, "lbub effort preset 1..9 (0 = default)")
 		legalizer = flag.String("legalizer", "tetris", "legalizer: tetris | abacus")
 		grid      = flag.Int("grid", 0, "density grid size (power of two, 0 = auto)")
 		maxIter   = flag.Int("max-iter", 0, "GP iteration cap (0 = default)")
@@ -99,6 +101,14 @@ func main() {
 		}
 		sopts = append(sopts, bopt)
 	}
+	if *strategy != "" {
+		sopt, err := xplace.WithStrategyName(*strategy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(2)
+		}
+		sopts = append(sopts, sopt)
+	}
 	if *trace != "" {
 		tr = xplace.NewTracer()
 		sopts = append(sopts, xplace.WithTracer(tr))
@@ -134,6 +144,7 @@ func main() {
 	opts.Placement.GridSize = *grid
 	opts.Placement.TargetDensity = *target
 	opts.Placement.Seed = *seed
+	opts.Placement.Effort = *effort
 	if *maxIter > 0 {
 		opts.Placement.Sched.MaxIter = *maxIter
 	}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"xplace/internal/geom"
+	"xplace/internal/netlist"
+	"xplace/internal/serve"
+)
+
+// divergentDesign is the fuzz-derived pathological input (mirrored in the
+// placer tests and the bookshelf seed corpus): pin offsets of ±1e40 parse
+// and evaluate to finite numbers, but the first wirelength evaluation
+// explodes past any physical HPWL and the gradient flow diverges.
+func divergentDesign(t *testing.T) *netlist.Design {
+	t.Helper()
+	d := netlist.NewDesign("fuzz-diverge", geom.Rect{Hx: 100, Hy: 100})
+	a := d.AddCell("a", 2, 2, 10, 10, netlist.Movable)
+	b := d.AddCell("b", 2, 2, 90, 90, netlist.Movable)
+	d.AddNet("n0")
+	d.AddPin(a, 1e40, 1e40)
+	d.AddPin(b, -1e40, -1e40)
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDivergenceFallbackOverHTTP: a job whose Nesterov run diverges is
+// transparently re-run under the LB/UB strategy and still answers
+// "succeeded", labeled with the fallback and counted on
+// xserve_fallback_total — the serve-level contract the lbub strategy
+// exists to back.
+func TestDivergenceFallbackOverHTTP(t *testing.T) {
+	srv, s := newTestServer(t, serve.Options{Engines: 1, QueueCap: 4, EngineWorkers: 1})
+
+	// Build a normal request, then swap in the pathological design (no
+	// HTTP surface generates one, which is the point: it arrived from the
+	// fuzzer). The cache key is cleared — the spec no longer matches the
+	// request it was derived from.
+	req := jobRequest{Bench: "fft_1", MaxIter: 50}
+	spec, err := req.toSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Design = divergentDesign(t)
+	spec.Key = ""
+	spec.Payload = nil
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitSucceeded(t, srv.URL, 1, time.Minute)
+	if st["fallback"] != "lbub" {
+		t.Fatalf("status fallback = %v, want \"lbub\" (full status: %v)", st["fallback"], st)
+	}
+	// The ±1e40 pin offsets legitimately dominate this design's HPWL; the
+	// contract is a finite answer, not a physical one.
+	hpwl, _ := st["hpwl"].(float64)
+	if !(hpwl > 0) || math.IsInf(hpwl, 0) || math.IsNaN(hpwl) {
+		t.Fatalf("fallback result HPWL = %v, want finite", st["hpwl"])
+	}
+	if n := scrapeMetric(t, srv.URL, "xserve_fallback_total"); n != 1 {
+		t.Errorf("xserve_fallback_total = %v, want 1", n)
+	}
+	if n := scrapeMetric(t, srv.URL, "xserve_jobs_succeeded"); n != 1 {
+		t.Errorf("xserve_jobs_succeeded = %v, want 1", n)
+	}
+
+	// A healthy job must not carry the label.
+	if resp, m := postJSON(t, srv.URL+"/jobs",
+		`{"bench":"fft_1","scale":0.002,"seed":3,"max_iter":20}`); resp.StatusCode != 202 {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	healthy := waitSucceeded(t, srv.URL, 2, time.Minute)
+	if _, ok := healthy["fallback"]; ok {
+		t.Errorf("healthy job reports fallback = %v", healthy["fallback"])
+	}
+	if n := scrapeMetric(t, srv.URL, "xserve_fallback_total"); n != 1 {
+		t.Errorf("xserve_fallback_total after healthy job = %v, want still 1", n)
+	}
+}
+
+// TestLBUBJobOverHTTP: -strategy reaches the HTTP surface — a job
+// submitted with "strategy": "lbub" runs the alternation directly (no
+// fallback label: nothing diverged).
+func TestLBUBJobOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t, serve.Options{Engines: 1, QueueCap: 4, EngineWorkers: 1})
+	if resp, m := postJSON(t, srv.URL+"/jobs",
+		`{"bench":"fft_1","scale":0.002,"seed":3,"strategy":"lbub","max_iter":40}`); resp.StatusCode != 202 {
+		t.Fatalf("submit: %d (%v)", resp.StatusCode, m)
+	}
+	st := waitSucceeded(t, srv.URL, 1, time.Minute)
+	if _, ok := st["fallback"]; ok {
+		t.Errorf("explicit lbub job reports fallback = %v", st["fallback"])
+	}
+	if hpwl, _ := st["hpwl"].(float64); !(hpwl > 0) {
+		t.Fatalf("lbub job HPWL = %v", st["hpwl"])
+	}
+}

@@ -172,15 +172,16 @@ func newMux(s *serve.Scheduler) *http.ServeMux {
 // the SAME design as "seed": 1, and both land on the same result-cache
 // entry. Use an explicit non-zero seed for a distinct design.
 type jobRequest struct {
-	Bench   string  `json:"bench"`
-	Scale   float64 `json:"scale,omitempty"`    // cell-count fraction; 0 = default 0.02
-	Seed    int64   `json:"seed,omitempty"`     // design seed; 0 = default 1
-	Mode    string  `json:"mode,omitempty"`     // xplace | baseline
-	MaxIter int     `json:"max_iter,omitempty"` // GP iteration cap
-	Grid    int     `json:"grid,omitempty"`     // density grid size
-	Timeout string  `json:"timeout,omitempty"`  // e.g. "30s"
-	Label   string  `json:"label,omitempty"`
-	Trace   bool    `json:"trace,omitempty"` // record a per-job operator trace
+	Bench    string  `json:"bench"`
+	Scale    float64 `json:"scale,omitempty"`    // cell-count fraction; 0 = default 0.02
+	Seed     int64   `json:"seed,omitempty"`     // design seed; 0 = default 1
+	Mode     string  `json:"mode,omitempty"`     // xplace | baseline
+	Strategy string  `json:"strategy,omitempty"` // nesterov | lbub (draft tier)
+	MaxIter  int     `json:"max_iter,omitempty"` // GP iteration cap
+	Grid     int     `json:"grid,omitempty"`     // density grid size
+	Timeout  string  `json:"timeout,omitempty"`  // e.g. "30s"
+	Label    string  `json:"label,omitempty"`
+	Trace    bool    `json:"trace,omitempty"` // record a per-job operator trace
 }
 
 // validate rejects requests the scheduler would otherwise run with
@@ -198,6 +199,11 @@ func (r *jobRequest) validate() error {
 	if r.Grid < 0 {
 		return fmt.Errorf("grid %d must be >= 0 (0 selects the mode default)", r.Grid)
 	}
+	// Enum-ish fields are validated HERE, at the HTTP boundary, so an
+	// unknown value is a 400 instead of a failure deep in the engine.
+	if _, err := placer.ParseStrategy(r.Strategy); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -214,6 +220,9 @@ func (r *jobRequest) normalize() {
 	if r.Mode == "" {
 		r.Mode = "xplace"
 	}
+	if r.Strategy == "" {
+		r.Strategy = "nesterov"
+	}
 	if r.Label == "" {
 		r.Label = r.Bench
 	}
@@ -224,8 +233,11 @@ func (r *jobRequest) normalize() {
 // timeout are excluded — they change reporting or execution limits, not
 // the converged result.
 func (r *jobRequest) cacheKey() string {
-	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|max_iter=%d|grid=%d",
-		r.Bench, r.Scale, r.Seed, r.Mode, r.MaxIter, r.Grid)
+	// Strategy is part of the content address: the same request under
+	// nesterov and lbub converges to different placements, so the two
+	// must never collide in the result cache.
+	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|strategy=%s|max_iter=%d|grid=%d",
+		r.Bench, r.Scale, r.Seed, r.Mode, r.Strategy, r.MaxIter, r.Grid)
 }
 
 func (r *jobRequest) toSpec() (serve.Spec, error) {
@@ -248,6 +260,7 @@ func (r *jobRequest) toSpec() (serve.Spec, error) {
 	}
 	opts.Seed = r.Seed
 	opts.GridSize = r.Grid
+	opts.Strategy, _ = placer.ParseStrategy(r.Strategy) // validated above
 	if r.MaxIter > 0 {
 		opts.Sched.MaxIter = r.MaxIter
 	}
@@ -306,6 +319,7 @@ type jobJSON struct {
 	Cached    bool             `json:"cached,omitempty"`    // served from the result cache
 	Recovered bool             `json:"recovered,omitempty"` // replayed from the WAL after a restart
 	Resumed   bool             `json:"resumed,omitempty"`   // continued from a placer checkpoint
+	Fallback  string           `json:"fallback,omitempty"`  // strategy that rescued a diverged run
 }
 
 func toJSON(st serve.Status) jobJSON {
@@ -321,6 +335,7 @@ func toJSON(st serve.Status) jobJSON {
 		Cached:    st.Cached,
 		Recovered: st.Recovered,
 		Resumed:   st.Resumed,
+		Fallback:  st.Fallback,
 	}
 	if !st.Started.IsZero() {
 		t := st.Started

@@ -39,6 +39,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"negative timeout", `{"bench":"fft_1","timeout":"-5s"}`},
 		{"unparseable timeout", `{"bench":"fft_1","timeout":"potato"}`},
 		{"non-numeric body", `{"bench":"fft_1","scale":"big"}`},
+		{"unknown strategy", `{"bench":"fft_1","strategy":"annealing"}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -95,6 +96,25 @@ func TestSeedZeroCoercionIsCanonical(t *testing.T) {
 	c.normalize()
 	if c.cacheKey() == a.cacheKey() {
 		t.Fatal("distinct seeds share a cache key")
+	}
+}
+
+// TestStrategyInCacheKey: the strategy is part of the result-cache
+// identity — an lbub run of the same request must never be served a
+// cached nesterov result (or vice versa), while the explicit default
+// spelling stays canonical with the omitted one.
+func TestStrategyInCacheKey(t *testing.T) {
+	def := jobRequest{Bench: "fft_1"}
+	def.normalize()
+	explicit := jobRequest{Bench: "fft_1", Strategy: "nesterov"}
+	explicit.normalize()
+	if def.cacheKey() != explicit.cacheKey() {
+		t.Fatalf("explicit default strategy key %q != omitted key %q", explicit.cacheKey(), def.cacheKey())
+	}
+	lbub := jobRequest{Bench: "fft_1", Strategy: "lbub"}
+	lbub.normalize()
+	if lbub.cacheKey() == def.cacheKey() {
+		t.Fatal("lbub and nesterov share a cache key")
 	}
 }
 

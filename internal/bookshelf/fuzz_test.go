@@ -36,6 +36,17 @@ var fuzzSeeds = [][4]string{
 		"", "", "", "",
 	},
 	{
+		// Fuzz-derived divergence trigger: ±1e40 pin offsets parse fine
+		// and every kernel stays finite, but the gradient flow's HPWL
+		// explodes (placer.ErrDiverged → the serve-level lbub fallback).
+		// Kept as a seed so the parser keeps accepting it and the placer
+		// regression tests keep a durable origin story.
+		"UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 2 2\nb 2 2\n",
+		"UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\n a I : 1e40 1e40\n b I : -1e40 -1e40\n",
+		"UCLA pl 1.0\na 10 10 : N\nb 90 90 : N\n",
+		"UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 100\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 100\nEnd\n",
+	},
+	{
 		// Header games: huge declared counts with no body (no pre-alloc
 		// from headers, so this must not OOM).
 		"NumNodes : 999999999999\n", "NumNets : 999999999999\nNetDegree : 999999999\n", "", "",

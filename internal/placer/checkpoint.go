@@ -49,8 +49,13 @@ type Checkpoint struct {
 // Checkpoint snapshots the placer's cross-iteration state. It must be
 // called at an iteration boundary — from the Options.Checkpoint hook, or
 // between RunIterations calls — never concurrently with a running
-// iteration.
+// iteration. Strategies without resume support (see
+// ErrStrategyNotResumable) return nil; the periodic Options.Checkpoint
+// hook is never invoked for them.
 func (p *Placer) Checkpoint() *Checkpoint {
+	if p.lbub != nil {
+		return nil
+	}
 	return &Checkpoint{
 		Cells:        p.d.NumCells(),
 		Iter:         p.iter,

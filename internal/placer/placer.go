@@ -89,6 +89,16 @@ const (
 // full Xplace configuration.
 type Options struct {
 	Mode Mode
+	// Strategy selects the global-placement algorithm: the default
+	// Nesterov electrostatic flow, or the LB/UB alternation engine
+	// (StrategyLBUB) used as quality oracle, draft tier and divergence
+	// fallback. Mode and the operator toggles below only apply to the
+	// gradient flow.
+	Strategy Strategy
+	// Effort tunes the LB/UB strategy's parameter preset (1 = fastest
+	// draft, 9 = highest quality, 0 = default). See LBUBEffort. Ignored
+	// by StrategyNesterov.
+	Effort int
 	// Operator-level optimization toggles (§3.1). All default to on for
 	// ModeXplace via Defaults; ModeBaseline ignores them (it is the
 	// everything-off comparator).
@@ -250,8 +260,9 @@ type Placer struct {
 	opt  optim.Optimizer
 	rec  *metrics.Recorder
 	wl   *wirelength.Ops
-	sq  *kernel.SyncQueue // private deferred-sync stream (engine-shareable)
-	ctx context.Context   // active run's context; Background outside a run
+	lbub *lbubEngine       // non-nil iff Options.Strategy == StrategyLBUB
+	sq   *kernel.SyncQueue // private deferred-sync stream (engine-shareable)
+	ctx  context.Context   // active run's context; Background outside a run
 
 	// Observability instruments (nil-safe: a disabled tracer/registry makes
 	// every use a nil-check no-op).
@@ -311,6 +322,9 @@ func New(d *netlist.Design, e *kernel.Engine, opts Options) (*Placer, error) {
 	}
 	if opts.TargetDensity <= 0 {
 		opts.TargetDensity = 1.0
+	}
+	if opts.Strategy == StrategyLBUB {
+		return newLBUBPlacer(d, e, opts)
 	}
 	if opts.Mode == ModeBaseline {
 		// The baseline is the everything-off configuration by definition.
@@ -606,12 +620,20 @@ func (p *Placer) RunContext(ctx context.Context) (*Result, error) {
 	// taken at its natural end does not run an extra iteration. A fresh
 	// placer can never start done (iter 0 is below MinIter), so this is
 	// the same loop as the classic iterate-then-test form for new runs.
-	for !p.schd.Done(p.lastOverflow) {
+	for !p.done() {
 		if err := p.RunIteration(); err != nil {
 			return p.finalize(start), err
 		}
 	}
 	return p.finalize(start), nil
+}
+
+// done is the strategy-dispatched convergence test.
+func (p *Placer) done() bool {
+	if p.lbub != nil {
+		return p.lbubDone()
+	}
+	return p.schd.Done(p.lastOverflow)
 }
 
 // RunIterations executes exactly n GP iterations (for per-iteration timing
@@ -627,16 +649,31 @@ func (p *Placer) RunIterations(n int) (*Result, error) {
 	return p.finalize(start), nil
 }
 
-// RunIteration executes a single GP iteration.
+// RunIteration executes a single GP iteration (one LB/UB round under
+// StrategyLBUB).
 func (p *Placer) RunIteration() error {
 	var err error
-	if p.opts.Mode == ModeBaseline {
+	switch {
+	case p.lbub != nil:
+		err = p.iterateLBUB()
+	case p.opts.Mode == ModeBaseline:
 		err = p.iterateBaseline()
-	} else {
+	default:
 		err = p.iterateXplace()
 	}
 	if err != nil {
 		return err
+	}
+	// Divergence guard for the gradient flow: a non-finite or exploding
+	// iteration cannot recover (every later step compounds it), so fail
+	// fast with the typed error the fallback path keys on. The LB/UB
+	// strategy clamps its solves into the region and cannot diverge this
+	// way.
+	if p.lbub == nil {
+		if rec, ok := p.rec.Last(); ok && diverged(rec) {
+			return fmt.Errorf("placer: iteration %d: hpwl=%g overflow=%g: %w",
+				rec.Iter, rec.HPWL, rec.Overflow, ErrDiverged)
+		}
 	}
 	if p.instrumented {
 		p.observeIteration()
@@ -644,7 +681,7 @@ func (p *Placer) RunIteration() error {
 	if p.opts.Progress != nil {
 		p.opts.Progress(p.snapshot())
 	}
-	if p.opts.Checkpoint != nil && p.opts.CheckpointEvery > 0 &&
+	if p.lbub == nil && p.opts.Checkpoint != nil && p.opts.CheckpointEvery > 0 &&
 		p.iter%p.opts.CheckpointEvery == 0 {
 		p.opts.Checkpoint(p.Checkpoint())
 	}
@@ -655,6 +692,11 @@ func (p *Placer) RunIteration() error {
 // finished from the recorder's last entry.
 func (p *Placer) snapshot() Snapshot {
 	rec, _ := p.rec.Last()
+	stage := sched.StageName(rec.Omega)
+	if p.lbub != nil {
+		// Under LB/UB, Omega carries the gap, not the §3.2 progress.
+		stage = "lbub"
+	}
 	return Snapshot{
 		Iter:     rec.Iter + 1, // recorder iters are 0-based; see Snapshot.Iter
 		HPWL:     rec.HPWL,
@@ -663,7 +705,7 @@ func (p *Placer) snapshot() Snapshot {
 		Gamma:    rec.Gamma,
 		Lambda:   rec.Lambda,
 		Omega:    rec.Omega,
-		Stage:    sched.StageName(rec.Omega),
+		Stage:    stage,
 		WallTime: rec.WallTime,
 		SimTime:  rec.SimTime,
 	}
@@ -680,15 +722,29 @@ func (p *Placer) snapshot() Snapshot {
 // again).
 func (p *Placer) Close() {
 	p.sq.Flush()
-	p.wl.Release()
-	p.sysFine.Release(p.eng)
+	if p.wl != nil {
+		p.wl.Release()
+	}
+	if p.sysFine != nil {
+		p.sysFine.Release(p.eng)
+	}
 	if p.sysCoarse != nil {
 		p.sysCoarse.Release(p.eng)
 	}
 }
 
 func (p *Placer) finalize(start time.Time) *Result {
-	ux, uy := p.opt.Current()
+	var ux, uy []float64
+	if p.lbub != nil {
+		// The UB solution (rough-legalized) is the deliverable; before the
+		// first round completes, fall back to the initial LB positions.
+		ux, uy = p.lbub.ubX, p.lbub.ubY
+		if !p.lbub.haveUB {
+			ux, uy = p.lbub.lbX, p.lbub.lbY
+		}
+	} else {
+		ux, uy = p.opt.Current()
+	}
 	n := p.orig.NumCells()
 	res := &Result{
 		X:          append(make([]float64, 0, n), ux[:n]...),

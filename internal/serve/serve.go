@@ -185,6 +185,7 @@ type Job struct {
 	resumed   bool // recovered mid-trajectory from a checkpoint
 
 	mu        sync.Mutex
+	fallback  string // strategy that rescued a diverged run ("lbub"), else ""
 	state     State
 	err       error
 	result    *placer.Result
@@ -226,6 +227,11 @@ type Status struct {
 	// checkpoint rather than restarting at iteration 0.
 	Recovered bool
 	Resumed   bool
+	// Fallback names the strategy that rescued the job after the primary
+	// one diverged ("lbub"); empty for a first-try result. A fallback
+	// result is a lower-quality draft and is never entered into the
+	// result cache.
+	Fallback string
 }
 
 // ID returns the job id assigned at submission.
@@ -276,6 +282,7 @@ func (j *Job) Status() Status {
 		Cached:    j.cached,
 		Recovered: j.recovered,
 		Resumed:   j.resumed,
+		Fallback:  j.fallback,
 	}
 	if j.err != nil {
 		st.Err = j.err.Error()
@@ -496,6 +503,7 @@ type Scheduler struct {
 	resumed     *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
+	fallbacks   *obs.Counter
 }
 
 // New starts a scheduler with its engine pool and worker set. With
@@ -559,6 +567,7 @@ func New(opts Options) (*Scheduler, error) {
 	s.resumed = reg.Counter("xserve_store_resumed_jobs", "recovered jobs resumed from a checkpoint")
 	s.cacheHits = reg.Counter("xserve_cache_hits_total", "submissions served from the result cache")
 	s.cacheMisses = reg.Counter("xserve_cache_misses_total", "keyed submissions that missed the result cache")
+	s.fallbacks = reg.Counter("xserve_fallback_total", "diverged jobs rescued by the lbub fallback strategy")
 	if s.store != nil {
 		reg.GaugeFunc("xserve_cache_entries", "results in the durable cache",
 			func() float64 { return float64(s.store.CacheLen()) })
@@ -645,7 +654,10 @@ func (s *Scheduler) rehydrate(r jobstore.JobRecord) (Spec, error) {
 	spec.Payload = append([]byte(nil), r.Payload...)
 	spec.Key = r.Key
 	spec.Label = r.Label
-	if r.HasCheckpoint {
+	// Strategies without resume support restart from iteration 0; handing
+	// them a checkpoint would fail the rebuilt job outright
+	// (placer.ErrStrategyNotResumable).
+	if r.HasCheckpoint && spec.Options.Strategy == placer.StrategyNesterov {
 		if b, ok := s.store.LoadCheckpoint(r.ID); ok {
 			var cp placer.Checkpoint
 			if json.Unmarshal(b, &cp) == nil {
@@ -857,7 +869,11 @@ func (s *Scheduler) recordFinish(j *Job, res *placer.Result) {
 	if s.store == nil {
 		return
 	}
-	if st.State == Succeeded && !j.cached && j.spec.Key != "" && res != nil {
+	if st.State == Succeeded && !j.cached && j.spec.Key != "" && res != nil &&
+		j.fallbackStrategy() == "" {
+		// Fallback results are deliberately not cached: the key describes
+		// the requested strategy, and a draft-quality rescue must not
+		// shadow a future successful run (or a fixed input) forever.
 		if err := s.store.PutResult(&jobstore.CachedResult{
 			Key: j.spec.Key, Iterations: res.Iterations,
 			HPWL: res.HPWL, Overflow: res.Overflow, X: res.X, Y: res.Y,
@@ -941,7 +957,43 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 	// back to the pre-job baseline.
 	defer p.Close()
 	res, err := p.RunContext(ctx)
+	if errors.Is(err, placer.ErrDiverged) && opts.Strategy != placer.StrategyLBUB {
+		// The gradient flow blew up on this input. Its failure profile is
+		// disjoint from the LB/UB alternation's (quadratic solves clamped
+		// into the region cannot explode), so re-run the job under lbub and
+		// answer with a labeled draft-quality result instead of a failure.
+		p.Close() // idempotent; return the diverged run's scratch now
+		fopts := opts
+		fopts.Strategy = placer.StrategyLBUB
+		fopts.Resume = nil // lbub is not resumable; start the rescue fresh
+		fp, ferr := placer.New(j.spec.Design, eng, fopts)
+		if ferr == nil {
+			defer fp.Close()
+			var fres *placer.Result
+			fres, ferr = fp.RunContext(ctx)
+			if ferr == nil {
+				j.setFallback(placer.StrategyLBUB.String())
+				s.fallbacks.Inc()
+				s.jobFinished(j, fres, nil)
+				return
+			}
+		}
+		// The fallback failed too: surface the original divergence (the
+		// root cause), not the rescue attempt's error.
+	}
 	s.jobFinished(j, res, err)
+}
+
+func (j *Job) setFallback(strategy string) {
+	j.mu.Lock()
+	j.fallback = strategy
+	j.mu.Unlock()
+}
+
+func (j *Job) fallbackStrategy() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fallback
 }
 
 // Draining reports whether Shutdown has begun (new submissions are being

@@ -60,6 +60,7 @@ type Session struct {
 	workers  int
 	overhead time.Duration
 	backend  backend.Backend
+	strategy placer.Strategy
 	tracer   *obs.Tracer
 	metrics  *obs.Registry
 	progress func(Snapshot)
@@ -103,6 +104,25 @@ func WithBackendName(name string) (Option, error) {
 		return nil, err
 	}
 	return WithBackend(b), nil
+}
+
+// WithStrategy selects the global-placement strategy of every run the
+// session drives (StrategyNesterov gradient flow, StrategyLBUB
+// lower/upper-bound alternation). A per-run PlacementOptions.Strategy
+// other than the default wins over the session's choice.
+func WithStrategy(st Strategy) Option {
+	return func(s *Session) { s.strategy = st }
+}
+
+// WithStrategyName is WithStrategy by name ("nesterov", "lbub"); it is
+// what the CLI -strategy flag maps to. Unknown names return an error
+// listing the selectable strategies. The empty name selects the default.
+func WithStrategyName(name string) (Option, error) {
+	st, err := placer.ParseStrategy(name)
+	if err != nil {
+		return nil, err
+	}
+	return WithStrategy(st), nil
 }
 
 // WithTracer records every kernel launch, operator group and flow stage of
@@ -188,6 +208,9 @@ func (s *Session) instrument(opts placer.Options) placer.Options {
 	}
 	if opts.Backend == nil {
 		opts.Backend = s.backend
+	}
+	if opts.Strategy == placer.StrategyNesterov {
+		opts.Strategy = s.strategy
 	}
 	return opts
 }

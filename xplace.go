@@ -89,6 +89,12 @@ type (
 	// PlacementOptions.Backend, per session with WithBackend, or process-
 	// wide with the XPLACE_BACKEND environment variable.
 	ComputeBackend = backend.Backend
+	// Strategy selects the global-placement algorithm: StrategyNesterov is
+	// the paper's electrostatic gradient flow; StrategyLBUB the
+	// Coloquinte-style lower-bound/upper-bound alternation (draft-quality
+	// quadratic oracle). Select per run with PlacementOptions.Strategy or
+	// per session with WithStrategy.
+	Strategy = placer.Strategy
 )
 
 // Cell kinds.
@@ -96,6 +102,32 @@ const (
 	Movable = netlist.Movable
 	Fixed   = netlist.Fixed
 	Filler  = netlist.Filler
+)
+
+// Placement strategies.
+const (
+	// StrategyNesterov is the default electrostatics-based gradient flow.
+	StrategyNesterov = placer.StrategyNesterov
+	// StrategyLBUB is the LB/UB alternation oracle (B2B least squares
+	// against rough legalization, gap-tolerance stop).
+	StrategyLBUB = placer.StrategyLBUB
+)
+
+// ParseStrategy resolves a strategy by name ("nesterov", "lbub"); the
+// empty name selects the default. It is what the CLI -strategy flags map
+// to.
+func ParseStrategy(name string) (Strategy, error) { return placer.ParseStrategy(name) }
+
+// StrategyNames lists the selectable placement strategies.
+func StrategyNames() []string { return placer.StrategyNames() }
+
+// ErrDiverged marks a global placement run whose trajectory exploded
+// (non-finite or absurd HPWL/overflow); errors.Is-match it to trigger a
+// fallback. ErrStrategyNotResumable marks a checkpoint resume into a
+// strategy that does not support it (only Nesterov checkpoints).
+var (
+	ErrDiverged             = placer.ErrDiverged
+	ErrStrategyNotResumable = placer.ErrStrategyNotResumable
 )
 
 // Wirelength models (the swappable gradient function of the core engine).
