@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test test-float32 race test-recovery test-oracle bench fuzz-smoke bench-trajectory bench-smoke check
+.PHONY: all vet build test test-float32 race test-recovery test-gateway test-oracle bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -30,6 +30,15 @@ race:
 test-recovery:
 	$(GO) test -race ./internal/jobstore ./internal/serve
 	$(GO) test -race -run 'TestKillRestartRecovery|TestEventsCloseOnDrain|TestCachedSubmissionOverHTTP|TestSubmitValidation|TestDivergenceFallbackOverHTTP' -v ./cmd/xserve
+
+# Gateway gate: the ring/health/breaker/failover/overload unit suite on
+# fake workers, then the process-level chaos test — three real xserve
+# workers behind the gateway, one SIGKILLed mid-trajectory, every job
+# finishing under its original ID with finals bit-identical to an
+# undisturbed reference run — all under the race detector.
+test-gateway:
+	$(GO) test -race ./internal/gateway
+	$(GO) test -race -run TestChaosKillWorkerMidTrajectory -v ./cmd/xgate
 
 # Cross-strategy quality oracle: two structurally independent placers
 # (Nesterov gradient flow vs LB/UB alternation) must agree on scaled

@@ -1,0 +1,128 @@
+// Command xgate is the fault-tolerant placement gateway: one HTTP front
+// end sharding jobs across a fleet of xserve workers while presenting
+// the exact submit/status/cancel/SSE API of a single worker.
+//
+// Jobs route by consistent hash of their content key, so identical
+// resubmissions land on the node whose result cache already holds them.
+// Workers are health-checked; transient submit failures retry with
+// backoff; a worker that dies mid-job has its jobs rerun on the next
+// ring node (deterministic placement makes the rerun bit-identical, so
+// the client's single job ID just keeps reporting progress). Under
+// total overload, allow_draft jobs degrade to a local lbub draft tier
+// and the rest shed with 429 + Retry-After.
+//
+// Example:
+//
+//	xserve -addr :8081 -store /var/lib/xserve-1 &
+//	xserve -addr :8082 -store /var/lib/xserve-2 &
+//	xgate -addr :8080 -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	      -store /var/lib/xgate -draft
+//	curl -s -X POST localhost:8080/jobs \
+//	    -d '{"bench":"adaptec1","scale":0.02,"allow_draft":true}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"xplace/internal/gateway"
+	"xplace/internal/jobstore"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		nodes       = flag.String("nodes", "", "comma-separated worker base URLs (required)")
+		replicas    = flag.Int("replicas", 64, "virtual nodes per worker on the hash ring")
+		probeEvery  = flag.Duration("probe-period", 250*time.Millisecond, "worker readiness probe interval")
+		downAfter   = flag.Int("down-after", 2, "consecutive probe failures marking a worker down")
+		upAfter     = flag.Int("up-after", 2, "consecutive probe successes marking a worker up")
+		attempts    = flag.Int("submit-attempts", 3, "submit tries per node before spilling to the next")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 and failover sweep pause")
+		routeWait   = flag.Duration("route-wait", 60*time.Second, "how long failover/recovery sweeps for a willing node")
+		storeDir    = flag.String("store", "", "durable gateway WAL directory (empty = in-memory only)")
+		draft       = flag.Bool("draft", false, "enable the local lbub draft tier for allow_draft jobs under overload")
+		draftIter   = flag.Int("draft-max-iter", 0, "iteration cap for draft runs (0 = request's own)")
+		draftWorker = flag.Int("draft-workers", 0, "kernel workers for the draft engine (0 = NumCPU)")
+	)
+	flag.Parse()
+	fleet := splitNodes(*nodes)
+	if len(fleet) == 0 {
+		log.Fatal("xgate: -nodes is required (comma-separated worker base URLs)")
+	}
+
+	var store *jobstore.Store
+	if *storeDir != "" {
+		var err error
+		store, err = jobstore.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("xgate: opening store: %v", err)
+		}
+	}
+	g, err := gateway.New(gateway.Options{
+		Nodes:          fleet,
+		Replicas:       *replicas,
+		ProbePeriod:    *probeEvery,
+		DownAfter:      *downAfter,
+		UpAfter:        *upAfter,
+		SubmitAttempts: *attempts,
+		RetryAfter:     *retryAfter,
+		RouteWait:      *routeWait,
+		Store:          store,
+		Draft: gateway.DraftOptions{
+			Enabled:       *draft,
+			MaxIter:       *draftIter,
+			EngineWorkers: *draftWorker,
+		},
+	})
+	if err != nil {
+		log.Fatalf("xgate: %v", err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gateway.NewMux(g)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("xgate: listening on %s, fronting %d workers: %s",
+		*addr, len(fleet), strings.Join(fleet, ", "))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("xgate: %v — shutting down", sig)
+	case err := <-errc:
+		log.Printf("xgate: server error: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	if err := g.Close(ctx); err != nil {
+		log.Printf("xgate: close: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("xgate: http shutdown: %v", err)
+	}
+	log.Printf("xgate: bye")
+}
+
+func splitNodes(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(strings.TrimRight(strings.TrimSpace(n), "/"))
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -41,7 +41,7 @@ func TestDivergenceFallbackOverHTTP(t *testing.T) {
 	// fuzzer). The cache key is cleared — the spec no longer matches the
 	// request it was derived from.
 	req := jobRequest{Bench: "fft_1", MaxIter: 50}
-	spec, err := req.toSpec()
+	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -46,11 +45,20 @@ import (
 	"syscall"
 	"time"
 
-	"xplace/internal/benchgen"
+	"xplace/internal/jobapi"
 	"xplace/internal/jobstore"
 	"xplace/internal/placer"
 	"xplace/internal/serve"
 )
+
+// jobRequest is the POST /jobs body; the canonical definition lives in
+// internal/jobapi so the xgate gateway derives the identical normalized
+// payload and cache/routing key.
+type jobRequest = jobapi.Request
+
+// rehydrateRequest rebuilds a Spec from a WAL payload — the recovery
+// half of jobapi.Request.ToSpec.
+func rehydrateRequest(b []byte) (serve.Spec, error) { return jobapi.Rehydrate(b) }
 
 func main() {
 	var (
@@ -155,6 +163,8 @@ func newMux(s *serve.Scheduler) *http.ServeMux {
 	mux.HandleFunc("GET /jobs/{id}/events", handleEvents(s))
 	mux.HandleFunc("GET /jobs/{id}/trace", handleTrace(s))
 	mux.HandleFunc("POST /jobs/{id}/cancel", handleCancel(s))
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("GET /readyz", handleReadyz(s))
 	mux.HandleFunc("GET /metrics", handleMetrics(s))
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -162,145 +172,6 @@ func newMux(s *serve.Scheduler) *http.ServeMux {
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return mux
-}
-
-// jobRequest is the POST /jobs body. The design is a synthetic contest
-// benchmark (as in `xplace -bench`); mode selects the GP engine.
-//
-// Zero-value coercion (part of the API): scale 0 selects the default
-// 0.02 and seed 0 selects the default 1 — a request with "seed": 0 names
-// the SAME design as "seed": 1, and both land on the same result-cache
-// entry. Use an explicit non-zero seed for a distinct design.
-type jobRequest struct {
-	Bench    string  `json:"bench"`
-	Scale    float64 `json:"scale,omitempty"`    // cell-count fraction; 0 = default 0.02
-	Seed     int64   `json:"seed,omitempty"`     // design seed; 0 = default 1
-	Mode     string  `json:"mode,omitempty"`     // xplace | baseline
-	Strategy string  `json:"strategy,omitempty"` // nesterov | lbub (draft tier)
-	MaxIter  int     `json:"max_iter,omitempty"` // GP iteration cap
-	Grid     int     `json:"grid,omitempty"`     // density grid size
-	Timeout  string  `json:"timeout,omitempty"`  // e.g. "30s"
-	Label    string  `json:"label,omitempty"`
-	Trace    bool    `json:"trace,omitempty"` // record a per-job operator trace
-}
-
-// validate rejects requests the scheduler would otherwise run with
-// nonsense parameters (or coerce surprisingly).
-func (r *jobRequest) validate() error {
-	if r.Bench == "" {
-		return errors.New("bench is required")
-	}
-	if r.Scale < 0 || math.IsNaN(r.Scale) || math.IsInf(r.Scale, 0) {
-		return fmt.Errorf("scale %v must be a finite value >= 0 (0 selects the default 0.02)", r.Scale)
-	}
-	if r.MaxIter < 0 {
-		return fmt.Errorf("max_iter %d must be >= 0", r.MaxIter)
-	}
-	if r.Grid < 0 {
-		return fmt.Errorf("grid %d must be >= 0 (0 selects the mode default)", r.Grid)
-	}
-	// Enum-ish fields are validated HERE, at the HTTP boundary, so an
-	// unknown value is a 400 instead of a failure deep in the engine.
-	if _, err := placer.ParseStrategy(r.Strategy); err != nil {
-		return err
-	}
-	return nil
-}
-
-// normalize applies the documented zero-value coercions, making the
-// request canonical: two requests naming the same placement marshal to
-// the same payload and cache key.
-func (r *jobRequest) normalize() {
-	if r.Scale == 0 {
-		r.Scale = 0.02
-	}
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
-	if r.Mode == "" {
-		r.Mode = "xplace"
-	}
-	if r.Strategy == "" {
-		r.Strategy = "nesterov"
-	}
-	if r.Label == "" {
-		r.Label = r.Bench
-	}
-}
-
-// cacheKey is the request's result-cache content address: exactly the
-// fields that determine the placement's outcome. Label, trace and
-// timeout are excluded — they change reporting or execution limits, not
-// the converged result.
-func (r *jobRequest) cacheKey() string {
-	// Strategy is part of the content address: the same request under
-	// nesterov and lbub converges to different placements, so the two
-	// must never collide in the result cache.
-	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|strategy=%s|max_iter=%d|grid=%d",
-		r.Bench, r.Scale, r.Seed, r.Mode, r.Strategy, r.MaxIter, r.Grid)
-}
-
-func (r *jobRequest) toSpec() (serve.Spec, error) {
-	if err := r.validate(); err != nil {
-		return serve.Spec{}, err
-	}
-	bspec, ok := benchgen.FindSpec(r.Bench)
-	if !ok {
-		return serve.Spec{}, fmt.Errorf("unknown benchmark %q", r.Bench)
-	}
-	r.normalize()
-	var opts placer.Options
-	switch r.Mode {
-	case "xplace":
-		opts = placer.Defaults()
-	case "baseline":
-		opts = placer.BaselineDefaults()
-	default:
-		return serve.Spec{}, fmt.Errorf("unknown mode %q", r.Mode)
-	}
-	opts.Seed = r.Seed
-	opts.GridSize = r.Grid
-	opts.Strategy, _ = placer.ParseStrategy(r.Strategy) // validated above
-	if r.MaxIter > 0 {
-		opts.Sched.MaxIter = r.MaxIter
-	}
-	var timeout time.Duration
-	if r.Timeout != "" {
-		var err error
-		if timeout, err = time.ParseDuration(r.Timeout); err != nil {
-			return serve.Spec{}, fmt.Errorf("bad timeout: %v", err)
-		}
-		if timeout < 0 {
-			return serve.Spec{}, fmt.Errorf("timeout %q must be >= 0", r.Timeout)
-		}
-	}
-	// The normalized request is the job's durable identity: the payload
-	// replayed by a restarted daemon, and the content key for the result
-	// cache. The expanded netlist is re-derived, never stored.
-	payload, err := json.Marshal(r)
-	if err != nil {
-		return serve.Spec{}, err
-	}
-	return serve.Spec{
-		Design:  benchgen.Generate(bspec, r.Scale, r.Seed),
-		Options: opts,
-		Timeout: timeout,
-		Label:   r.Label,
-		Trace:   r.Trace,
-		Payload: payload,
-		Key:     r.cacheKey(),
-	}, nil
-}
-
-// rehydrateRequest rebuilds a Spec from a WAL payload — the recovery
-// half of toSpec. The payload is already normalized, so the rebuilt
-// design and options are identical to the original submission's.
-func rehydrateRequest(b []byte) (serve.Spec, error) {
-	var req jobRequest
-	if err := json.Unmarshal(b, &req); err != nil {
-		return serve.Spec{}, err
-	}
-	return req.toSpec()
 }
 
 // jobJSON is the wire form of a job status.
@@ -385,7 +256,7 @@ func handleSubmit(s *serve.Scheduler) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		spec, err := req.toSpec()
+		spec, err := req.ToSpec()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -438,9 +309,33 @@ func handleCancel(s *serve.Scheduler) http.HandlerFunc {
 	}
 }
 
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It deliberately says nothing about the scheduler — a draining
+// daemon is still alive and must not be restarted by a supervisor.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while the scheduler accepts
+// new submissions, 503 once a drain has begun. The xgate gateway routes
+// on this signal, so a draining node stops receiving jobs before its
+// queue rejects them.
+func handleReadyz(s *serve.Scheduler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
+}
+
 // handleEvents streams per-iteration snapshots as Server-Sent Events:
 // first the retained history, then live updates until the job finishes or
-// the client goes away.
+// the client goes away. Every progress event carries its iteration as the
+// SSE id, and a reconnecting client that presents Last-Event-ID resumes
+// from the snapshot ring after that iteration instead of replaying the
+// stream from scratch.
 func handleEvents(s *serve.Scheduler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		j, ok := jobFrom(s, w, r)
@@ -461,13 +356,21 @@ func handleEvents(s *serve.Scheduler) http.HandlerFunc {
 		live, unsub := j.Subscribe(64)
 		defer unsub()
 		lastIter := -1
+		// Reconnect support: an EventSource client resends the last id it
+		// saw; everything at or before it is already delivered. An
+		// unparseable header is ignored (full replay).
+		if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+			if v, err := strconv.Atoi(lei); err == nil && v > lastIter {
+				lastIter = v
+			}
+		}
 		emit := func(sn placer.Snapshot) {
 			if sn.Iter <= lastIter {
 				return
 			}
 			lastIter = sn.Iter
 			b, _ := json.Marshal(sn)
-			fmt.Fprintf(w, "event: progress\ndata: %s\n\n", b)
+			fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", sn.Iter, b)
 			fl.Flush()
 		}
 		for _, sn := range j.Snapshots() {

@@ -72,11 +72,11 @@ func TestSubmitValidation(t *testing.T) {
 func TestScaleMustBeFinite(t *testing.T) {
 	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
 		r := jobRequest{Bench: "fft_1", Scale: bad}
-		if err := r.validate(); err == nil {
+		if err := r.Validate(); err == nil {
 			t.Errorf("scale %v accepted", bad)
 		}
 	}
-	if err := (&jobRequest{Bench: "fft_1"}).validate(); err != nil {
+	if err := (&jobRequest{Bench: "fft_1"}).Validate(); err != nil {
 		t.Errorf("zero scale rejected: %v", err)
 	}
 }
@@ -87,14 +87,14 @@ func TestScaleMustBeFinite(t *testing.T) {
 func TestSeedZeroCoercionIsCanonical(t *testing.T) {
 	a := jobRequest{Bench: "fft_1"}
 	b := jobRequest{Bench: "fft_1", Scale: 0.02, Seed: 1, Mode: "xplace"}
-	a.normalize()
-	b.normalize()
-	if a.cacheKey() != b.cacheKey() {
-		t.Fatalf("coerced request key %q != explicit default key %q", a.cacheKey(), b.cacheKey())
+	a.Normalize()
+	b.Normalize()
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatalf("coerced request key %q != explicit default key %q", a.CacheKey(), b.CacheKey())
 	}
 	c := jobRequest{Bench: "fft_1", Seed: 2}
-	c.normalize()
-	if c.cacheKey() == a.cacheKey() {
+	c.Normalize()
+	if c.CacheKey() == a.CacheKey() {
 		t.Fatal("distinct seeds share a cache key")
 	}
 }
@@ -105,15 +105,15 @@ func TestSeedZeroCoercionIsCanonical(t *testing.T) {
 // spelling stays canonical with the omitted one.
 func TestStrategyInCacheKey(t *testing.T) {
 	def := jobRequest{Bench: "fft_1"}
-	def.normalize()
+	def.Normalize()
 	explicit := jobRequest{Bench: "fft_1", Strategy: "nesterov"}
-	explicit.normalize()
-	if def.cacheKey() != explicit.cacheKey() {
-		t.Fatalf("explicit default strategy key %q != omitted key %q", explicit.cacheKey(), def.cacheKey())
+	explicit.Normalize()
+	if def.CacheKey() != explicit.CacheKey() {
+		t.Fatalf("explicit default strategy key %q != omitted key %q", explicit.CacheKey(), def.CacheKey())
 	}
 	lbub := jobRequest{Bench: "fft_1", Strategy: "lbub"}
-	lbub.normalize()
-	if lbub.cacheKey() == def.cacheKey() {
+	lbub.Normalize()
+	if lbub.CacheKey() == def.CacheKey() {
 		t.Fatal("lbub and nesterov share a cache key")
 	}
 }
@@ -127,7 +127,7 @@ func TestEventsCloseOnDrain(t *testing.T) {
 	// An effectively unbounded job (MinIter pinned: the convergence stop
 	// cannot end it).
 	req := jobRequest{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
-	spec, err := req.toSpec()
+	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)
 	}

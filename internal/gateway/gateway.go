@@ -1,0 +1,802 @@
+// Package gateway is the fault-tolerance tier over a fleet of xserve
+// workers: one HTTP front end (cmd/xgate) that presents the exact
+// submit/status/cancel/SSE API of a single worker while sharding jobs
+// across many.
+//
+// The design leans on one property the rest of the stack already
+// guarantees: placement is deterministic. The same normalized request
+// run anywhere in the fleet (same flags, same worker count) produces a
+// bit-identical result, so the gateway's failure handling can be blunt —
+// when a worker dies mid-job, rerun the job's canonical payload on the
+// next ring node and the client cannot tell the difference.
+//
+// Mechanics:
+//
+//   - Routing is a consistent hash of the request's cache key (the same
+//     content address the workers' result caches use), so identical
+//     resubmissions land on the node already holding the cached result
+//     and are answered without an engine launch.
+//   - Per-node health is probe-driven (readiness, debounced) and a
+//     per-node circuit breaker ejects workers whose submit path flaps
+//     even while their probes pass.
+//   - Transient submit failures retry with exponential backoff + jitter
+//     on the same node before spilling to the next ring node.
+//   - A dead worker's jobs (lost SSE stream + failed liveness confirm)
+//     fail over: the recorded canonical request is resubmitted to the
+//     next node, under the same gateway job ID.
+//   - Under total overload (every queue at backpressure), jobs that
+//     opted in via allow_draft run on a local lbub draft tier; the rest
+//     shed with 429 + Retry-After.
+//   - With a store, every accepted job is WAL'd (submit/begin/finish)
+//     and a restarted gateway re-routes the non-terminal ones.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/jobapi"
+	"xplace/internal/jobstore"
+	"xplace/internal/obs"
+	"xplace/internal/placer"
+	"xplace/internal/serve"
+)
+
+// Submission errors.
+var (
+	// ErrOverloaded: every available worker is at backpressure (or down)
+	// and the job did not opt into the draft tier. HTTP: 429 + Retry-After.
+	ErrOverloaded = errors.New("gateway: all workers at capacity")
+	// ErrClosed is returned after Close has begun.
+	ErrClosed = errors.New("gateway: shutting down")
+)
+
+// RequestError is a deterministic client-side rejection (bad request,
+// unknown benchmark) — retrying or rerouting cannot fix it. HTTP: 400.
+type RequestError struct{ Msg string }
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// DraftOptions configures the local degradation tier: a small embedded
+// scheduler that answers allow_draft jobs with an lbub draft placement
+// when the whole fleet is at backpressure.
+type DraftOptions struct {
+	Enabled       bool
+	Engines       int // default 1
+	QueueCap      int // default 4
+	EngineWorkers int // kernel workers per engine (0 = NumCPU)
+	MaxIter       int // iteration cap imposed on draft runs (0 = request's own)
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// Nodes are the worker base URLs (e.g. http://127.0.0.1:8081).
+	Nodes []string
+	// Replicas is the virtual-node count per worker on the hash ring
+	// (default 64).
+	Replicas int
+	// Client is used for submits, probes and status polls (default:
+	// 10s-timeout client). Event streams use a dedicated timeout-free
+	// client internally.
+	Client *http.Client
+
+	// ProbePeriod is the readiness-probe interval per node (default
+	// 250ms); ProbeTimeout bounds one probe (default ProbePeriod).
+	// DownAfter consecutive probe failures mark a node unhealthy,
+	// UpAfter consecutive successes bring it back (defaults 2 and 2).
+	ProbePeriod  time.Duration
+	ProbeTimeout time.Duration
+	DownAfter    int
+	UpAfter      int
+
+	// SubmitAttempts bounds tries per node for one routing step (default
+	// 3); transient failures back off RetryBase·2^k with jitter, capped
+	// at RetryMaxDelay (defaults 25ms and 1s).
+	SubmitAttempts int
+	RetryBase      time.Duration
+	RetryMaxDelay  time.Duration
+
+	// BreakerThreshold consecutive submit failures open a node's circuit
+	// breaker for BreakerCooldown (defaults 3 and 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// RetryAfter is the hint returned with 429 responses and the pause
+	// between failover routing sweeps (default 1s). RouteWait bounds how
+	// long a failover or recovery keeps sweeping for a willing node
+	// before the job fails (default 60s).
+	RetryAfter time.Duration
+	RouteWait  time.Duration
+
+	// History is the per-job progress ring capacity (default 512).
+	History int
+	// Metrics receives the xgate_* series (nil = private registry).
+	Metrics *obs.Registry
+	// Store makes the gateway durable: accepted jobs are WAL'd and a
+	// restarted gateway re-routes the non-terminal ones. Must not be
+	// shared with a worker's store.
+	Store *jobstore.Store
+	// Draft configures the local degradation tier.
+	Draft DraftOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = 64
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.ProbePeriod <= 0 {
+		o.ProbePeriod = 250 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ProbePeriod
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 2
+	}
+	if o.UpAfter <= 0 {
+		o.UpAfter = 2
+	}
+	if o.SubmitAttempts <= 0 {
+		o.SubmitAttempts = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 25 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = time.Second
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 3
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 2 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.RouteWait <= 0 {
+		o.RouteWait = 60 * time.Second
+	}
+	if o.History <= 0 {
+		o.History = 512
+	}
+	if o.Draft.Engines <= 0 {
+		o.Draft.Engines = 1
+	}
+	if o.Draft.QueueCap <= 0 {
+		o.Draft.QueueCap = 4
+	}
+	return o
+}
+
+// Gateway shards placement jobs across a fleet of xserve workers.
+type Gateway struct {
+	opts   Options
+	client *http.Client // submits, probes, status polls (bounded timeout)
+	stream *http.Client // SSE relays (no timeout; cancelled via ctx)
+	ring   *ring
+	reg    *obs.Registry
+	store  *jobstore.Store
+	draft  *serve.Scheduler // nil unless Draft.Enabled
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	nodes  map[string]*node
+	jobs   map[int64]*Job
+	nextID int64
+	closed bool
+
+	routeTotal    *obs.Counter // successful job→node assignments (initial + failover)
+	retryTotal    *obs.Counter // transient submit attempts retried
+	failoverTotal *obs.Counter // jobs rerun on another node after a worker death
+	shedTotal     *obs.Counter // submissions shed with 429 under total overload
+	draftTotal    *obs.Counter // submissions degraded to the local draft tier
+	breakerTrips  *obs.Counter
+	inflight      *obs.Gauge
+	walAppends    *obs.Counter
+	storeErrors   *obs.Counter
+}
+
+// New starts a gateway over the given worker fleet. With Options.Store
+// set, the WAL is replayed first: terminal jobs reappear as history and
+// non-terminal ones are re-routed to the fleet (the workers' own result
+// caches make replayed completions instant).
+func New(opts Options) (*Gateway, error) {
+	o := opts.withDefaults()
+	if len(o.Nodes) == 0 {
+		return nil, errors.New("gateway: at least one worker node required")
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	g := &Gateway{
+		opts:   o,
+		client: o.Client,
+		stream: &http.Client{},
+		ring:   newRing(o.Replicas),
+		reg:    reg,
+		store:  o.Store,
+		ctx:    ctx,
+		cancel: cancel,
+		nodes:  make(map[string]*node),
+		jobs:   make(map[int64]*Job),
+	}
+	g.routeTotal = reg.Counter("xgate_route_total", "jobs assigned to a worker (initial routes + failovers)")
+	g.retryTotal = reg.Counter("xgate_retry_total", "transient submit attempts retried with backoff")
+	g.failoverTotal = reg.Counter("xgate_failover_total", "jobs rerun on another node after a worker death")
+	g.shedTotal = reg.Counter("xgate_shed_total", "submissions shed with 429 under total overload")
+	g.draftTotal = reg.Counter("xgate_draft_total", "submissions degraded to the local lbub draft tier")
+	g.breakerTrips = reg.Counter("xgate_breaker_trips_total", "circuit breakers opened on flapping workers")
+	g.inflight = reg.Gauge("xgate_jobs_inflight", "gateway jobs not yet terminal")
+	g.walAppends = reg.Counter("xgate_wal_appends_total", "records appended to the gateway WAL")
+	g.storeErrors = reg.Counter("xgate_store_errors_total", "gateway store operations that failed")
+
+	if o.Draft.Enabled {
+		ds, err := serve.New(serve.Options{
+			Engines:       o.Draft.Engines,
+			QueueCap:      o.Draft.QueueCap,
+			EngineWorkers: o.Draft.EngineWorkers,
+			History:       o.History,
+		})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("gateway: starting draft tier: %w", err)
+		}
+		g.draft = ds
+	}
+
+	for _, name := range o.Nodes {
+		n := g.newNode(name)
+		g.nodes[name] = n
+		g.ring.add(name)
+		g.wg.Add(1)
+		go g.probeLoop(n)
+	}
+
+	if g.store != nil {
+		if err := g.recover(); err != nil {
+			_ = g.Close(context.Background())
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// recover replays the gateway WAL: terminal records become visible
+// history, non-terminal ones are re-routed under their original IDs.
+func (g *Gateway) recover() error {
+	recs, err := g.store.Recover()
+	if err != nil {
+		return fmt.Errorf("gateway: recovering store: %w", err)
+	}
+	for _, r := range recs {
+		if r.ID > g.nextID {
+			g.nextID = r.ID
+		}
+		var req jobapi.Request
+		if len(r.Payload) > 0 {
+			if uerr := json.Unmarshal(r.Payload, &req); uerr != nil && !r.Terminal() {
+				// Unreplayable non-terminal record: surface it as a failed
+				// job rather than silently dropping it.
+				j := g.newJobLocked(req, nil, r.Key, true, r.ID, r.Submitted)
+				j.finishLocked("failed", fmt.Sprintf("gateway: unreplayable WAL payload: %v", uerr))
+				g.jobs[r.ID] = j
+				continue
+			}
+		}
+		j := g.newJobLocked(req, append([]byte(nil), r.Payload...), r.Key, true, r.ID, r.Submitted)
+		g.jobs[r.ID] = j
+		if r.Terminal() {
+			j.state = r.State
+			j.errMsg = r.Err
+			j.iterations = r.Iterations
+			j.hpwl = r.HPWL
+			j.overflow = r.Overflow
+			j.cached = r.Cached
+			j.started, j.finished = r.Started, r.Finished
+			close(j.done)
+			continue
+		}
+		g.inflight.Add(1)
+		g.wg.Add(1)
+		go func(j *Job) {
+			defer g.wg.Done()
+			if err := g.routeWithRetry(j, ""); err != nil {
+				g.finishLocal(j, "failed", fmt.Errorf("gateway: re-routing recovered job: %w", err))
+				return
+			}
+			g.monitorLoop(j)
+		}(j)
+	}
+	// WAL rotation, same policy as the workers: recovery folded the full
+	// history, so snapshot it before new appends arrive.
+	if _, err := g.store.Compact(); err != nil {
+		g.storeErrors.Inc()
+	}
+	return nil
+}
+
+func (g *Gateway) newJobLocked(req jobapi.Request, body []byte, key string, recovered bool, id int64, submitted time.Time) *Job {
+	if submitted.IsZero() {
+		submitted = time.Now()
+	}
+	return &Job{
+		id:        id,
+		gw:        g,
+		req:       req,
+		body:      body,
+		key:       key,
+		recovered: recovered,
+		state:     "queued",
+		submitted: submitted,
+		snaps:     make([]placer.Snapshot, g.opts.History),
+		subs:      make(map[int]chan placer.Snapshot),
+		done:      make(chan struct{}),
+	}
+}
+
+// Registry returns the gateway's metrics registry.
+func (g *Gateway) Registry() *obs.Registry { return g.reg }
+
+// Closed reports whether Close has begun.
+func (g *Gateway) Closed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// Submit validates, normalizes and routes one job. The returned Job is
+// the client's single handle for the request's whole life, across any
+// number of worker-side retries and failovers.
+func (g *Gateway) Submit(req jobapi.Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, &RequestError{err.Error()}
+	}
+	if _, ok := benchgen.FindSpec(req.Bench); !ok {
+		return nil, &RequestError{fmt.Sprintf("unknown benchmark %q", req.Bench)}
+	}
+	req.Normalize()
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, &RequestError{err.Error()}
+	}
+	key := req.CacheKey()
+
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	g.nextID++
+	id := g.nextID
+	g.mu.Unlock()
+	j := g.newJobLocked(req, body, key, false, id, time.Time{})
+
+	name, ws, rerr := g.route(key, body, "")
+	if rerr == nil {
+		j.assign(name, ws.ID, ws.Cached)
+		g.register(j)
+		g.walAppend(func() error { return g.store.AppendSubmit(j.id, j.req.Label, j.body, j.key) })
+		g.walAppend(func() error { return g.store.AppendBegin(j.id) })
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			g.monitorLoop(j)
+		}()
+		return j, nil
+	}
+	var re *RequestError
+	if errors.As(rerr, &re) {
+		return nil, re
+	}
+	// Total overload: every available node is at backpressure or down.
+	if req.AllowDraft && g.draft != nil {
+		if derr := g.startDraft(j); derr == nil {
+			g.register(j)
+			g.walAppend(func() error { return g.store.AppendSubmit(j.id, j.req.Label, j.body, j.key) })
+			return j, nil
+		}
+	}
+	g.shedTotal.Inc()
+	return nil, fmt.Errorf("%w: %v", ErrOverloaded, rerr)
+}
+
+func (g *Gateway) register(j *Job) {
+	g.mu.Lock()
+	g.jobs[j.id] = j
+	g.mu.Unlock()
+	g.inflight.Add(1)
+}
+
+// Job looks a gateway job up by id.
+func (g *Gateway) Job(id int64) (*Job, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job, newest first.
+func (g *Gateway) Jobs() []*Job {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Job, 0, len(g.jobs))
+	for _, j := range g.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id > out[b].id })
+	return out
+}
+
+// Cancel cancels a gateway job, relaying to whichever worker (or the
+// draft tier) currently runs it. Returns false for unknown ids.
+func (g *Gateway) Cancel(id int64) bool {
+	j, ok := g.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	draft, node, rid := j.draft, j.node, j.remoteID
+	j.mu.Unlock()
+	if draft {
+		if g.draft != nil {
+			g.draft.Cancel(rid)
+		}
+		return true
+	}
+	if node != "" && rid != 0 {
+		// Best effort: the monitor observes the worker's terminal state and
+		// records it; an unreachable node resolves through failover, where
+		// the rerun is then cancelled the same way.
+		req, err := http.NewRequestWithContext(g.ctx, http.MethodPost,
+			fmt.Sprintf("%s/jobs/%d/cancel", node, rid), nil)
+		if err == nil {
+			if resp, derr := g.client.Do(req); derr == nil {
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+	return true
+}
+
+// node returns the tracked node by name (nil when removed).
+func (g *Gateway) node(name string) *node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.nodes[name]
+}
+
+// AddNode inserts a worker into the ring at runtime. Only ~1/N of the
+// key space re-routes; every other key keeps hitting the node whose
+// result cache already holds it.
+func (g *Gateway) AddNode(name string) {
+	g.mu.Lock()
+	if _, ok := g.nodes[name]; ok || g.closed {
+		g.mu.Unlock()
+		return
+	}
+	n := g.newNode(name)
+	g.nodes[name] = n
+	g.mu.Unlock()
+	g.ring.add(name)
+	g.wg.Add(1)
+	go g.probeLoop(n)
+}
+
+// RemoveNode drains a worker out of the ring. In-flight jobs on it are
+// left to the failure path: if the node stays up they finish normally;
+// if it goes away they fail over.
+func (g *Gateway) RemoveNode(name string) {
+	g.mu.Lock()
+	n := g.nodes[name]
+	delete(g.nodes, name)
+	g.mu.Unlock()
+	g.ring.remove(name)
+	if n != nil {
+		close(n.stop)
+	}
+}
+
+// route walks the key's ring sequence and tries each available node
+// until one accepts. Backpressure (429) and draining (503) spill to the
+// next node immediately; transient faults retry with backoff on the
+// same node first (submitTo). A deterministic 4xx stops the walk — no
+// node will answer differently.
+func (g *Gateway) route(key string, body []byte, exclude string) (string, *workerStatus, error) {
+	seq := g.ring.sequence(key)
+	lastErr := errors.New("no worker available")
+	for _, name := range seq {
+		if name == exclude {
+			continue
+		}
+		n := g.node(name)
+		if n == nil || !n.available() {
+			continue
+		}
+		ws, err := g.submitTo(n, body)
+		if err == nil {
+			n.routed.Inc()
+			g.routeTotal.Inc()
+			return name, ws, nil
+		}
+		var re *RequestError
+		if errors.As(err, &re) {
+			return "", nil, re
+		}
+		lastErr = err
+	}
+	return "", nil, lastErr
+}
+
+// routeWithRetry keeps sweeping the ring (RetryAfter apart) until a
+// node accepts or RouteWait elapses — the failover and recovery path,
+// where "no node right now" usually means "a node in a few seconds".
+func (g *Gateway) routeWithRetry(j *Job, exclude string) error {
+	deadline := time.Now().Add(g.opts.RouteWait)
+	for {
+		name, ws, err := g.route(j.key, j.body, exclude)
+		if err == nil {
+			j.assign(name, ws.ID, ws.Cached)
+			g.walAppend(func() error { return g.store.AppendBegin(j.id) })
+			return nil
+		}
+		var re *RequestError
+		if errors.As(err, &re) {
+			return re
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		if !g.sleep(g.opts.RetryAfter) {
+			return ErrClosed
+		}
+	}
+}
+
+// submitTo posts one job to one node with bounded retry: transient
+// faults (network error, 5xx) back off exponentially with jitter and
+// feed the node's breaker; backpressure (429/503) returns immediately
+// so the router can spill to the next ring node.
+func (g *Gateway) submitTo(n *node, body []byte) (*workerStatus, error) {
+	var lastErr error
+	for attempt := 0; attempt < g.opts.SubmitAttempts; attempt++ {
+		if attempt > 0 {
+			g.retryTotal.Inc()
+			if !g.sleep(g.backoff(attempt)) {
+				return nil, ErrClosed
+			}
+		}
+		start := time.Now()
+		req, err := http.NewRequestWithContext(g.ctx, http.MethodPost, n.name+"/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := g.client.Do(req)
+		if err != nil {
+			n.submitFailure(g.opts.BreakerThreshold, g.opts.BreakerCooldown, g.breakerTrips)
+			lastErr = fmt.Errorf("node %s: %w", n.name, err)
+			continue
+		}
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		n.latency.Observe(time.Since(start).Seconds())
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			var ws workerStatus
+			if uerr := json.Unmarshal(rb, &ws); uerr != nil || ws.ID == 0 {
+				n.submitFailure(g.opts.BreakerThreshold, g.opts.BreakerCooldown, g.breakerTrips)
+				lastErr = fmt.Errorf("node %s: bad accept body: %v", n.name, uerr)
+				continue
+			}
+			n.submitSuccess()
+			return &ws, nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			// Backpressure or draining: the node is functioning and telling
+			// us "not now" — not a fault, so the breaker stays untouched;
+			// spill to the next ring node instead of hammering this one.
+			return nil, fmt.Errorf("node %s: %s", n.name, http.StatusText(resp.StatusCode))
+		case resp.StatusCode >= 500:
+			n.submitFailure(g.opts.BreakerThreshold, g.opts.BreakerCooldown, g.breakerTrips)
+			lastErr = fmt.Errorf("node %s: HTTP %d", n.name, resp.StatusCode)
+			continue
+		default:
+			// Deterministic rejection (400-class): every node shares the
+			// validation code, so trying another one cannot help.
+			return nil, &RequestError{errorBody(rb, resp.StatusCode)}
+		}
+	}
+	return nil, lastErr
+}
+
+func errorBody(b []byte, code int) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return fmt.Sprintf("worker rejected request (HTTP %d)", code)
+}
+
+// backoff returns the delay before retry `attempt` (1-based):
+// RetryBase·2^(attempt-1), half of it deterministic and half jittered,
+// capped at RetryMaxDelay — the standard herd-breaking shape.
+func (g *Gateway) backoff(attempt int) time.Duration {
+	d := g.opts.RetryBase << (attempt - 1)
+	if d > g.opts.RetryMaxDelay || d <= 0 {
+		d = g.opts.RetryMaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleep waits d or until the gateway closes; false on close.
+func (g *Gateway) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-g.ctx.Done():
+		return false
+	}
+}
+
+func (g *Gateway) walAppend(fn func() error) {
+	if g.store == nil {
+		return
+	}
+	if err := fn(); err != nil {
+		g.storeErrors.Inc()
+		return
+	}
+	g.walAppends.Inc()
+}
+
+// finishLocal records a gateway-side terminal state (failed routing,
+// draft outcome relayed, shutdown).
+func (g *Gateway) finishLocal(j *Job, state string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	j.mu.Lock()
+	ok := j.finishLocked(state, msg)
+	j.mu.Unlock()
+	if !ok {
+		return
+	}
+	st := j.Status()
+	g.walAppend(func() error {
+		return g.store.AppendFinish(j.id, st.State, st.Err, st.Iterations, st.HPWL, st.Overflow, st.Cached)
+	})
+	g.inflight.Add(-1)
+	close(j.done)
+}
+
+// finishRemote records a worker-reported terminal state.
+func (g *Gateway) finishRemote(j *Job, ws *workerStatus) {
+	j.mu.Lock()
+	if !terminalState(ws.State) || !j.finishLocked(ws.State, ws.Err) {
+		j.mu.Unlock()
+		return
+	}
+	j.iterations = ws.Iters
+	j.hpwl = ws.HPWL
+	j.overflow = ws.Overflow
+	if ws.Cached {
+		j.cached = true
+	}
+	j.fallback = ws.Fallback
+	j.mu.Unlock()
+	st := j.Status()
+	g.walAppend(func() error {
+		return g.store.AppendFinish(j.id, st.State, st.Err, st.Iterations, st.HPWL, st.Overflow, st.Cached)
+	})
+	g.inflight.Add(-1)
+	close(j.done)
+}
+
+// startDraft degrades one allow_draft job to the local lbub tier: the
+// same request rewritten to the draft strategy, run on the embedded
+// scheduler, never cached (the key names the requested strategy).
+func (g *Gateway) startDraft(j *Job) error {
+	dreq := j.req
+	dreq.Strategy = placer.StrategyLBUB.String()
+	if g.opts.Draft.MaxIter > 0 && (dreq.MaxIter == 0 || dreq.MaxIter > g.opts.Draft.MaxIter) {
+		dreq.MaxIter = g.opts.Draft.MaxIter
+	}
+	spec, err := dreq.ToSpec()
+	if err != nil {
+		return err
+	}
+	spec.Key = "" // a draft must never enter any result cache
+	sj, err := g.draft.Submit(spec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.draft = true
+	j.remoteID = sj.ID()
+	j.mu.Unlock()
+	g.draftTotal.Inc()
+	g.wg.Add(1)
+	go g.relayDraft(j, sj)
+	return nil
+}
+
+// relayDraft mirrors an embedded draft job into the gateway job.
+func (g *Gateway) relayDraft(j *Job, sj *serve.Job) {
+	defer g.wg.Done()
+	ch, unsub := sj.Subscribe(64)
+	defer unsub()
+	for sn := range ch {
+		j.observe(sn)
+	}
+	<-sj.Done()
+	st := sj.Status()
+	g.finishRemote(j, &workerStatus{
+		State:    st.State.String(),
+		Err:      st.Err,
+		Iters:    st.Iterations,
+		HPWL:     st.HPWL,
+		Overflow: st.Overflow,
+		Fallback: st.Fallback,
+	})
+}
+
+// Close stops intake, cancels every monitor/probe/relay goroutine and
+// shuts the draft tier and store down. In-flight routed jobs keep
+// running on their workers; a durable gateway re-adopts them at the
+// next start via WAL replay.
+func (g *Gateway) Close(ctx context.Context) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.mu.Unlock()
+	g.cancel()
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	if g.draft != nil {
+		if derr := g.draft.Shutdown(ctx); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	if g.store != nil {
+		if serr := g.store.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
+}

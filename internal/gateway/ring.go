@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// ring is a consistent-hash ring over worker nodes. Each node owns
+// `replicas` virtual points; a key routes to the node owning the first
+// point clockwise of the key's hash. Adding or removing one node moves
+// only ~1/N of the key space, so the result-cache locality the routing
+// key encodes (identical resubmissions land on the node that already
+// holds the result) survives fleet changes.
+//
+// The hash is FNV-1a over plain strings — deterministic across
+// processes, so a restarted gateway routes every key exactly as its
+// predecessor did.
+type ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]struct{}
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &ring{replicas: replicas, members: make(map[string]struct{})}
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func (r *ring) add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; ok {
+		return
+	}
+	r.members[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{ringHash(node + "#" + strconv.Itoa(i)), node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+func (r *ring) remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[node]; !ok {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+func (r *ring) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// sequence returns every member node in ring order starting from the
+// key's owner: sequence(key)[0] is where the key lives, and the rest is
+// the deterministic failover walk — the order every gateway instance
+// agrees to try when the owner is down or full.
+func (r *ring) sequence(key string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]struct{}, len(r.members))
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.node]; ok {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// owner is sequence(key)[0] without building the full walk.
+func (r *ring) owner(key string) string {
+	seq := r.sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}

@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: the walk order for a key is stable across calls
+// and across ring rebuilds — every gateway instance (and every restart)
+// must agree on where a key lives and where it fails over to.
+func TestRingDeterminism(t *testing.T) {
+	build := func() *ring {
+		r := newRing(64)
+		for _, n := range []string{"http://a:1", "http://b:1", "http://c:1"} {
+			r.add(n)
+		}
+		return r
+	}
+	r1, r2 := build(), build()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("bench=adaptec1|seed=%d", i)
+		s1, s2 := r1.sequence(key), r2.sequence(key)
+		if len(s1) != 3 || len(s2) != 3 {
+			t.Fatalf("sequence(%q) lengths %d/%d, want 3", key, len(s1), len(s2))
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatalf("sequence(%q) differs across rebuilds: %v vs %v", key, s1, s2)
+			}
+		}
+	}
+}
+
+// TestRingSpreadAndStability: ownership spreads over all nodes, and a
+// join moves keys ONLY onto the joining node — no key shuffles between
+// surviving nodes, which is what keeps the fleet's result caches warm
+// through scale-out.
+func TestRingSpreadAndStability(t *testing.T) {
+	r := newRing(64)
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	for _, n := range nodes {
+		r.add(n)
+	}
+	const keys = 2000
+	before := make(map[string]string, keys)
+	spread := map[string]int{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.owner(k)
+		spread[before[k]]++
+	}
+	for _, n := range nodes {
+		if spread[n] < keys/10 {
+			t.Errorf("node %s owns %d/%d keys — ring badly unbalanced", n, spread[n], keys)
+		}
+	}
+
+	r.add("http://d:1")
+	moved := 0
+	for k, prev := range before {
+		now := r.owner(k)
+		if now == prev {
+			continue
+		}
+		moved++
+		if now != "http://d:1" {
+			t.Fatalf("key %q moved %s -> %s: joins must only move keys to the new node", k, prev, now)
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("join moved %d/%d keys, want roughly 1/4", moved, keys)
+	}
+
+	// Leave: only the departing node's keys move.
+	r.remove("http://d:1")
+	for k, prev := range before {
+		if got := r.owner(k); got != prev {
+			t.Fatalf("key %q owner %s after leave, want original %s", k, got, prev)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package jobapi is the wire form of a placement job request — the JSON
+// body accepted by cmd/xserve's POST /jobs and routed by the xgate
+// gateway. It lives in one place so every tier of the service agrees on
+// three derived identities:
+//
+//   - the canonical (normalized) request: two spellings of the same
+//     placement marshal to the same payload,
+//   - the cache key: the content address identical submissions share,
+//     which doubles as the gateway's consistent-hash routing key, and
+//   - the serve.Spec a worker actually runs.
+//
+// A gateway that re-derives any of these differently from the worker it
+// routes to would silently break cache-aware routing and exact failover
+// reruns, so the derivation is shared code, not protocol convention.
+package jobapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/placer"
+	"xplace/internal/serve"
+)
+
+// Request is the POST /jobs body. The design is a synthetic contest
+// benchmark (as in `xplace -bench`); mode selects the GP engine.
+//
+// Zero-value coercion (part of the API): scale 0 selects the default
+// 0.02 and seed 0 selects the default 1 — a request with "seed": 0 names
+// the SAME design as "seed": 1, and both land on the same result-cache
+// entry. Use an explicit non-zero seed for a distinct design.
+type Request struct {
+	Bench    string  `json:"bench"`
+	Scale    float64 `json:"scale,omitempty"`    // cell-count fraction; 0 = default 0.02
+	Seed     int64   `json:"seed,omitempty"`     // design seed; 0 = default 1
+	Mode     string  `json:"mode,omitempty"`     // xplace | baseline
+	Strategy string  `json:"strategy,omitempty"` // nesterov | lbub (draft tier)
+	MaxIter  int     `json:"max_iter,omitempty"` // GP iteration cap
+	Grid     int     `json:"grid,omitempty"`     // density grid size
+	Timeout  string  `json:"timeout,omitempty"`  // e.g. "30s"
+	Label    string  `json:"label,omitempty"`
+	Trace    bool    `json:"trace,omitempty"` // record a per-job operator trace
+	// AllowDraft opts the job into the gateway's graceful-degradation
+	// path: when every worker queue is at backpressure, the gateway may
+	// answer with a locally computed lbub draft placement instead of
+	// shedding the job with 429. Routing metadata only — it never changes
+	// the requested placement, so it is excluded from the cache key.
+	AllowDraft bool `json:"allow_draft,omitempty"`
+}
+
+// Validate rejects requests the scheduler would otherwise run with
+// nonsense parameters (or coerce surprisingly).
+func (r *Request) Validate() error {
+	if r.Bench == "" {
+		return errors.New("bench is required")
+	}
+	if r.Scale < 0 || math.IsNaN(r.Scale) || math.IsInf(r.Scale, 0) {
+		return fmt.Errorf("scale %v must be a finite value >= 0 (0 selects the default 0.02)", r.Scale)
+	}
+	if r.MaxIter < 0 {
+		return fmt.Errorf("max_iter %d must be >= 0", r.MaxIter)
+	}
+	if r.Grid < 0 {
+		return fmt.Errorf("grid %d must be >= 0 (0 selects the mode default)", r.Grid)
+	}
+	// Enum-ish fields are validated HERE, at the HTTP boundary, so an
+	// unknown value is a 400 instead of a failure deep in the engine.
+	if _, err := placer.ParseStrategy(r.Strategy); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Normalize applies the documented zero-value coercions, making the
+// request canonical: two requests naming the same placement marshal to
+// the same payload and cache key.
+func (r *Request) Normalize() {
+	if r.Scale == 0 {
+		r.Scale = 0.02
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Mode == "" {
+		r.Mode = "xplace"
+	}
+	if r.Strategy == "" {
+		r.Strategy = "nesterov"
+	}
+	if r.Label == "" {
+		r.Label = r.Bench
+	}
+}
+
+// CacheKey is the request's result-cache content address: exactly the
+// fields that determine the placement's outcome. Label, trace, timeout
+// and allow_draft are excluded — they change reporting, execution limits
+// or routing policy, not the converged result. The same key is the
+// gateway's consistent-hash routing key, so identical resubmissions land
+// on the node that already holds the cached result.
+func (r *Request) CacheKey() string {
+	// Strategy is part of the content address: the same request under
+	// nesterov and lbub converges to different placements, so the two
+	// must never collide in the result cache.
+	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|strategy=%s|max_iter=%d|grid=%d",
+		r.Bench, r.Scale, r.Seed, r.Mode, r.Strategy, r.MaxIter, r.Grid)
+}
+
+// ToSpec validates and normalizes the request in place, then expands it
+// into the runnable serve.Spec (generated design, placer options, durable
+// payload and cache key).
+func (r *Request) ToSpec() (serve.Spec, error) {
+	if err := r.Validate(); err != nil {
+		return serve.Spec{}, err
+	}
+	bspec, ok := benchgen.FindSpec(r.Bench)
+	if !ok {
+		return serve.Spec{}, fmt.Errorf("unknown benchmark %q", r.Bench)
+	}
+	r.Normalize()
+	var opts placer.Options
+	switch r.Mode {
+	case "xplace":
+		opts = placer.Defaults()
+	case "baseline":
+		opts = placer.BaselineDefaults()
+	default:
+		return serve.Spec{}, fmt.Errorf("unknown mode %q", r.Mode)
+	}
+	opts.Seed = r.Seed
+	opts.GridSize = r.Grid
+	opts.Strategy, _ = placer.ParseStrategy(r.Strategy) // validated above
+	if r.MaxIter > 0 {
+		opts.Sched.MaxIter = r.MaxIter
+	}
+	var timeout time.Duration
+	if r.Timeout != "" {
+		var err error
+		if timeout, err = time.ParseDuration(r.Timeout); err != nil {
+			return serve.Spec{}, fmt.Errorf("bad timeout: %v", err)
+		}
+		if timeout < 0 {
+			return serve.Spec{}, fmt.Errorf("timeout %q must be >= 0", r.Timeout)
+		}
+	}
+	// The normalized request is the job's durable identity: the payload
+	// replayed by a restarted daemon (or re-routed by a failing-over
+	// gateway), and the content key for the result cache. The expanded
+	// netlist is re-derived, never stored.
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return serve.Spec{}, err
+	}
+	return serve.Spec{
+		Design:  benchgen.Generate(bspec, r.Scale, r.Seed),
+		Options: opts,
+		Timeout: timeout,
+		Label:   r.Label,
+		Trace:   r.Trace,
+		Payload: payload,
+		Key:     r.CacheKey(),
+	}, nil
+}
+
+// Rehydrate rebuilds a Spec from a durable payload — the recovery half
+// of ToSpec. The payload is already normalized, so the rebuilt design
+// and options are identical to the original submission's.
+func Rehydrate(b []byte) (serve.Spec, error) {
+	var req Request
+	if err := json.Unmarshal(b, &req); err != nil {
+		return serve.Spec{}, err
+	}
+	return req.ToSpec()
+}

@@ -26,11 +26,13 @@ package jobstore
 
 import (
 	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -113,26 +115,44 @@ type CachedResult struct {
 type Store struct {
 	dir string
 
-	mu   sync.Mutex
-	wal  *os.File
-	bw   *bufio.Writer
-	seq  int64
-	keys map[string]bool // result-cache keys present on disk
+	mu      sync.Mutex
+	wal     *os.File
+	bw      *bufio.Writer
+	seq     int64
+	keys    map[string]bool // result-cache keys present on disk
+	skipped int             // undecodable WAL lines seen by the latest replay
 }
 
 // Open creates (or reopens) the store at dir, scanning the existing WAL
 // for the next sequence number and the cache directory for known keys.
+// An unwritable store directory (wrong permissions, read-only
+// filesystem) fails HERE with one clear error instead of surfacing on
+// the first WAL append or checkpoint write minutes into a run.
 func Open(dir string) (*Store, error) {
-	for _, d := range []string{dir, filepath.Join(dir, "ckpt"), filepath.Join(dir, "cache")} {
+	dirs := []string{dir, filepath.Join(dir, "ckpt"), filepath.Join(dir, "cache")}
+	for _, d := range dirs {
 		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("jobstore: %w", err)
+			return nil, fmt.Errorf("jobstore: store directory %s is not usable: %w", dir, err)
 		}
 	}
+	// Writability probe: MkdirAll succeeds on directories that already
+	// exist even when they cannot be written (and an O_APPEND handle on an
+	// existing WAL keeps working in a directory that rejects new files),
+	// so every directory the store creates files in is probed explicitly.
+	for _, d := range dirs {
+		probe, err := os.CreateTemp(d, ".probe-*")
+		if err != nil {
+			return nil, fmt.Errorf("jobstore: store directory %s is not writable: %w", d, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
 	s := &Store{dir: dir, keys: make(map[string]bool)}
-	recs, err := s.readWAL()
+	recs, skipped, err := s.readWAL()
 	if err != nil {
 		return nil, err
 	}
+	s.skipped = skipped
 	for _, r := range recs {
 		if r.Seq > s.seq {
 			s.seq = r.Seq
@@ -206,39 +226,90 @@ func (s *Store) cachePath(key string) string {
 	return filepath.Join(s.dir, "cache", hex.EncodeToString(sum[:])+".json")
 }
 
-// readWAL decodes every complete record, tolerating a torn final line.
-func (s *Store) readWAL() ([]Record, error) {
+// maxWALLine bounds a single WAL record on disk. A line beyond it cannot
+// be a record this package wrote and is treated as corruption.
+const maxWALLine = 1 << 26
+
+// readWAL decodes every complete record, skipping — and counting —
+// undecodable lines. A bad line is either the torn tail of a crashed
+// append (Open terminates such a tail with a newline, so after a reopen
+// it shows up as an undecodable line) or genuine mid-file corruption
+// (bit rot, a hostile edit). Either way the skip is per-line and
+// deterministic: the same bytes always yield the same surviving record
+// sequence, and the records AFTER a bad line are still replayed — an
+// over-long garbage line is drained to its newline rather than aborting
+// the scan and silently truncating every good record behind it.
+func (s *Store) readWAL() ([]Record, int, error) {
 	f, err := os.Open(s.walPath())
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("jobstore: %w", err)
+		return nil, 0, fmt.Errorf("jobstore: %w", err)
 	}
 	defer f.Close()
-	var recs []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
+	var (
+		recs    []Record
+		skipped int
+		line    []byte
+		discard bool // inside an over-long line: drop bytes until its newline
+	)
+	decode := func(b []byte) {
+		b = bytes.TrimSpace(b)
+		if len(b) == 0 {
+			return
 		}
 		var r Record
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
-			// A decode failure can only legitimately be the torn tail of a
-			// crashed append (Open terminates such a tail with a newline, so
-			// after a reopen it shows up as an undecodable line mid-file).
+		if err := json.Unmarshal(b, &r); err != nil {
 			// Every complete record was fsynced before being acknowledged,
-			// so skipping the fragment loses nothing that was promised.
-			continue
+			// so skipping an undecodable line loses nothing that was
+			// promised. The count is surfaced via SkippedRecords so a
+			// corrupted log is visible, not silent.
+			skipped++
+			return
 		}
 		recs = append(recs, r)
 	}
-	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
-		return nil, fmt.Errorf("jobstore: reading WAL: %w", err)
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !discard {
+			line = append(line, chunk...)
+			if len(line) > maxWALLine {
+				line = nil
+				discard = true
+				skipped++
+			}
+		}
+		switch {
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue // keep accumulating (or draining) this line
+		case err == nil:
+			if !discard {
+				decode(line)
+				line = line[:0]
+			}
+			discard = false
+			continue
+		case errors.Is(err, io.EOF):
+			if !discard {
+				decode(line) // final line without a trailing newline
+			}
+			return recs, skipped, nil
+		default:
+			return nil, skipped, fmt.Errorf("jobstore: reading WAL: %w", err)
+		}
 	}
-	return recs, nil
+}
+
+// SkippedRecords reports how many undecodable WAL lines the most recent
+// replay (Open, Recover or Compact) skipped. Zero on a healthy log; at
+// most one after a clean crash (the torn tail); more indicates mid-file
+// corruption worth alerting on.
+func (s *Store) SkippedRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
 }
 
 // append writes one record and fsyncs the WAL — the record is durable
@@ -291,15 +362,9 @@ func (s *Store) AppendFinish(job int64, state, errMsg string, iters int, hpwl, o
 	})
 }
 
-// Recover folds the WAL into per-job records, newest-submission-last.
-// Jobs whose last record is not a finish are the crashed scheduler's
-// queued and running jobs — the caller re-enqueues them (resuming from
-// the checkpoint when HasCheckpoint is set).
-func (s *Store) Recover() ([]JobRecord, error) {
-	recs, err := s.readWAL()
-	if err != nil {
-		return nil, err
-	}
+// foldRecords collapses raw WAL records into per-job state, returning
+// the jobs in ascending-id order (ids are assigned in submission order).
+func foldRecords(recs []Record) []JobRecord {
 	jobs := make(map[int64]*JobRecord)
 	var order []int64
 	for _, r := range recs {
@@ -335,15 +400,128 @@ func (s *Store) Recover() ([]JobRecord, error) {
 	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
 	out := make([]JobRecord, 0, len(order))
 	for _, id := range order {
-		j := jobs[id]
-		if !j.Terminal() {
-			if _, err := os.Stat(s.ckptPath(id)); err == nil {
-				j.HasCheckpoint = true
+		out = append(out, *jobs[id])
+	}
+	return out
+}
+
+// Recover folds the WAL into per-job records, newest-submission-last.
+// Jobs whose last record is not a finish are the crashed scheduler's
+// queued and running jobs — the caller re-enqueues them (resuming from
+// the checkpoint when HasCheckpoint is set).
+func (s *Store) Recover() ([]JobRecord, error) {
+	recs, skipped, err := s.readWAL()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.skipped = skipped
+	s.mu.Unlock()
+	out := foldRecords(recs)
+	for i := range out {
+		if !out[i].Terminal() {
+			if _, err := os.Stat(s.ckptPath(out[i].ID)); err == nil {
+				out[i].HasCheckpoint = true
 			}
 		}
-		out = append(out, *j)
 	}
 	return out, nil
+}
+
+// Compact rewrites the WAL as a snapshot of its folded per-job state —
+// one submit (plus begin/finish where recorded) per job — and truncates
+// the historical record stream ("snapshot and truncate"). A long-lived
+// node calls this after a successful startup recovery so the log it
+// replays stays proportional to the number of jobs it has ever seen,
+// not the number of lifecycle transitions; corrupt lines are dropped
+// for good. The swap is atomic (temp + fsync + rename) and the append
+// handle is reopened on the new file, so a crash at any point leaves
+// either the old or the new WAL intact — never a partial one. Returns
+// how many raw records the snapshot folded away.
+func (s *Store) Compact() (dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, errors.New("jobstore: store is closed")
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, fmt.Errorf("jobstore: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return 0, fmt.Errorf("jobstore: %w", err)
+	}
+	recs, skipped, err := s.readWAL()
+	if err != nil {
+		return 0, err
+	}
+	var (
+		buf bytes.Buffer
+		seq int64
+	)
+	write := func(r Record) error {
+		seq++
+		r.Seq = seq
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("jobstore: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+		return nil
+	}
+	for _, j := range foldRecords(recs) {
+		if err := write(Record{
+			Type: "submit", Job: j.ID, Time: j.Submitted,
+			Label: j.Label, Payload: j.Payload, Key: j.Key,
+		}); err != nil {
+			return 0, err
+		}
+		if !j.Started.IsZero() {
+			if err := write(Record{Type: "begin", Job: j.ID, Time: j.Started}); err != nil {
+				return 0, err
+			}
+		}
+		if j.Terminal() {
+			if err := write(Record{
+				Type: "finish", Job: j.ID, Time: j.Finished,
+				State: j.State, Err: j.Err,
+				Iterations: j.Iterations, HPWL: j.HPWL, Overflow: j.Overflow,
+				Cached: j.Cached,
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Close the live handle BEFORE the rename: an append racing the swap
+	// would otherwise land on the unlinked old inode and silently vanish.
+	// (Appends are excluded by s.mu; this guards the handle itself.)
+	if err := s.wal.Close(); err != nil {
+		return 0, fmt.Errorf("jobstore: %w", err)
+	}
+	s.wal, s.bw = nil, nil
+	reopen := func() error {
+		f, err := os.OpenFile(s.walPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("jobstore: reopening WAL after compaction: %w", err)
+		}
+		s.wal = f
+		s.bw = bufio.NewWriter(f)
+		return nil
+	}
+	if err := writeAtomic(s.walPath(), buf.Bytes()); err != nil {
+		// The old WAL is still in place; reopen it and keep appending.
+		if rerr := reopen(); rerr != nil {
+			return 0, rerr
+		}
+		return 0, err
+	}
+	if err := reopen(); err != nil {
+		return 0, err
+	}
+	dropped = len(recs) + skipped - int(seq)
+	s.seq = seq
+	s.skipped = 0
+	return dropped, nil
 }
 
 // writeAtomic writes data to path via a temp file + fsync + rename, so a

@@ -388,7 +388,9 @@ func (j *Job) begin() bool {
 // finishLocked moves the job to its terminal state, classifying the
 // error. It requires j.mu held and reports whether this call performed
 // the transition; when it returns true the caller must close(j.done)
-// after releasing the lock.
+// after releasing the lock — and, on a durable scheduler, only after the
+// terminal WAL record is written, so no waiter observes a completion the
+// store could still forget.
 func (j *Job) finishLocked(res *placer.Result, err error) bool {
 	if j.state.Terminal() {
 		return false
@@ -414,14 +416,12 @@ func (j *Job) finishLocked(res *placer.Result, err error) bool {
 
 // finish moves the job to its terminal state. It reports whether this
 // call performed the transition (false when another goroutine — e.g.
-// Cancel racing the worker — got there first).
+// Cancel racing the worker — got there first). The winner owes the
+// close(j.done); see jobFinished.
 func (j *Job) finish(res *placer.Result, err error) bool {
 	j.mu.Lock()
 	ok := j.finishLocked(res, err)
 	j.mu.Unlock()
-	if ok {
-		close(j.done)
-	}
 	return ok
 }
 
@@ -441,9 +441,6 @@ func (j *Job) cancelIfQueued() bool {
 	}
 	ok := j.finishLocked(nil, context.Canceled)
 	j.mu.Unlock()
-	if ok {
-		close(j.done)
-	}
 	return ok
 }
 
@@ -501,6 +498,7 @@ type Scheduler struct {
 	storeErrors *obs.Counter
 	recovered   *obs.Counter
 	resumed     *obs.Counter
+	compacted   *obs.Counter
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 	fallbacks   *obs.Counter
@@ -565,14 +563,30 @@ func New(opts Options) (*Scheduler, error) {
 	s.storeErrors = reg.Counter("xserve_store_errors_total", "job store operations that failed")
 	s.recovered = reg.Counter("xserve_store_recovered_jobs", "non-terminal jobs re-enqueued on startup")
 	s.resumed = reg.Counter("xserve_store_resumed_jobs", "recovered jobs resumed from a checkpoint")
+	s.compacted = reg.Counter("xserve_store_compacted_records", "raw WAL records folded away by startup compaction")
 	s.cacheHits = reg.Counter("xserve_cache_hits_total", "submissions served from the result cache")
 	s.cacheMisses = reg.Counter("xserve_cache_misses_total", "keyed submissions that missed the result cache")
 	s.fallbacks = reg.Counter("xserve_fallback_total", "diverged jobs rescued by the lbub fallback strategy")
 	if s.store != nil {
 		reg.GaugeFunc("xserve_cache_entries", "results in the durable cache",
 			func() float64 { return float64(s.store.CacheLen()) })
+		reg.GaugeFunc("xserve_store_skipped_wal_records", "undecodable WAL lines skipped by the latest replay",
+			func() float64 { return float64(s.store.SkippedRecords()) })
 	}
 	s.recoverJobs(recov)
+	if s.store != nil {
+		// WAL rotation: recovery replayed every historical transition, so
+		// snapshot the folded state and truncate the log here — before the
+		// workers start appending — keeping a long-lived node's next replay
+		// proportional to its job count, not its transition history. A failed
+		// compaction leaves the old WAL in place: slower recovery, no data
+		// loss.
+		if dropped, err := s.store.Compact(); err != nil {
+			s.storeErrors.Inc()
+		} else {
+			s.compacted.Add(int64(dropped))
+		}
+	}
 	for i := 0; i < o.Engines; i++ {
 		eng := kernel.New(kernel.Options{
 			Workers:        o.EngineWorkers,
@@ -830,17 +844,22 @@ func (s *Scheduler) Cancel(id int64) bool {
 	// outright and leaves the run to its context.
 	if j.cancelIfQueued() {
 		s.recordFinish(j, nil)
+		close(j.done)
 	}
 	return true
 }
 
 // jobFinished records the terminal transition exactly once and updates the
-// scheduler counters from the job's final state.
+// scheduler counters from the job's final state. The done channel closes
+// only AFTER the store work (terminal WAL record, result-cache entry,
+// checkpoint removal): a waiter that observes completion observes a
+// completion the store already remembers.
 func (s *Scheduler) jobFinished(j *Job, res *placer.Result, err error) {
 	if !j.finish(res, err) {
 		return // another goroutine (Cancel vs worker) won the transition
 	}
 	s.recordFinish(j, res)
+	close(j.done)
 }
 
 // recordFinish updates counters and the durable store after a terminal
