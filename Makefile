@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test test-float32 race test-recovery test-gateway test-oracle bench fuzz-smoke bench-trajectory bench-smoke check
+.PHONY: all vet build test test-float32 race test-recovery test-gateway test-oracle test-nn bench fuzz-smoke bench-trajectory bench-smoke check
 
 all: check
 
@@ -49,6 +49,20 @@ test-oracle:
 	$(GO) test -run 'TestOracle|TestLBUB|TestNesterovDiverges' -v ./internal/placer
 	$(GO) test -run 'TestDivergenceFallbackOverHTTP|TestLBUBJobOverHTTP|TestStrategyInCacheKey' -v ./cmd/xserve
 
+# Neural-field lane (§3.3 end to end, in-CI): the model-artifact
+# integrity suite (versioned header, sha256, shape checks), a tiny FNO
+# trained in-process with its training-MSE gate, the σ(ω) handoff /
+# determinism / blended-quality placement tests, the facade -model
+# option, and the serving side — registry, model-aware submit, and four
+# concurrent jobs sharing one model through the batched inference path —
+# under the race detector.
+test-nn:
+	$(GO) test -run 'TestArtifact|TestLoadRejects|TestGenerateBenchSamples|TestTrainingReducesLoss|TestGeneralizesToUnseenMaps|TestSaveLoadRoundTrip' -v ./internal/nn
+	$(GO) test -run 'TestNNBlend' -v ./internal/placer
+	$(GO) test -run 'TestSessionWithFieldModel|TestWithFieldModelTypedErrors|TestStatModelFacade' -v .
+	$(GO) test -race -run 'TestModelRegistry|TestSubmitRejectsUnknownModel|TestBatchedInference' -v ./internal/serve
+	$(GO) test -race -run 'TestSubmitModelValidation|TestModelJobOverHTTP' -v ./cmd/xserve
+
 # Short fuzz pass over the file-format parsers: each target gets a few
 # seconds on top of its seed corpus. Catches parser panics (negative or
 # non-finite geometry, truncated streams) before they ship.
@@ -64,14 +78,15 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/kernel ./internal/dct
 
-# Bench trajectory: the pinned eight-config run (DREAMPlace-style baseline,
+# Bench trajectory: the pinned nine-config run (DREAMPlace-style baseline,
 # Xplace without operator combination, full Xplace, the compute-backend
 # ablation: float32, spectral truncation, adaptive grid, and all three
-# combined, plus the LB/UB alternation strategy) on adaptec1, written as a
-# machine-readable record with the poisson512 micro timings. Re-baselining
-# BENCH_7.json is a deliberate act: run this target and commit the diff
-# alongside the change that moved the numbers.
-BENCH_BASELINE ?= BENCH_7.json
+# combined, plus the LB/UB alternation strategy and the Xplace-NN blended
+# flow) on adaptec1, written as a machine-readable record with the
+# poisson512 micro timings. Re-baselining BENCH_8.json is a deliberate
+# act: run this target and commit the diff alongside the change that
+# moved the numbers.
+BENCH_BASELINE ?= BENCH_8.json
 bench-trajectory:
 	$(GO) run ./cmd/xbench -json $(BENCH_BASELINE)
 

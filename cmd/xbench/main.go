@@ -29,6 +29,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"xplace"
@@ -61,6 +62,7 @@ var (
 	benchNote = flag.String("note", "", "free-form note stored in the -json record")
 	backendN  = flag.String("backend", "", "compute backend for the table/figure runs: float64 | float32 (default follows XPLACE_BACKEND; the pinned trajectory configs set their own)")
 	strategyN = flag.String("strategy", "", "GP strategy for the Xplace table rows: nesterov | lbub (the pinned trajectory configs set their own)")
+	modelPath = flag.String("model", "", "trained field-model artifact for the Xplace-NN column and the nn-blend trajectory config (default: train a small FNO in-process)")
 )
 
 // runStrategy is the parsed -strategy choice applied to the Xplace rows of
@@ -173,17 +175,26 @@ const (
 	trajLBUBRatioLow  = 2.0
 )
 
+// In-trajectory NN-blend band: at the pinned iteration count the blended
+// trajectory sits close to the numerical reference (measured ~1.8% below
+// it — the predicted field is a smooth low-frequency stand-in, not a
+// different objective). The band is coarse on purpose: the tight quality
+// gate is the to-convergence test in the nn lane (make test-nn); this one
+// catches the blend path breaking inside the bench lane.
+const trajNNTol = 0.10
+
 // trajConfigs are the placer configurations the trajectory compares. The
 // first three reproduce the paper's operator ablation: the DREAMPlace-style
 // autograd baseline, Xplace with operator combination (OC) disabled, and
 // full Xplace — the launch-count gap between the last two is the OC saving
 // (§3.1.1) made machine-checkable. The remaining four isolate the compute-
 // backend fast path: float32 precision alone, spectral truncation alone,
-// the adaptive bin grid alone, and all three together. The final config
-// runs the LB/UB alternation strategy (the CI quality oracle) on the same
-// pinned design so the record tracks both placement algorithms. Every
-// config pins its Backend explicitly so the record never depends on
-// XPLACE_BACKEND.
+// the adaptive bin grid alone, and all three together. The last two track
+// the alternative placement paths on the same pinned design: the LB/UB
+// alternation strategy (the CI quality oracle) and the Xplace-NN blended
+// flow (σ(ω)-weighted predicted field in the early stage, via the pinned
+// in-process FNO or -model). Every config pins its Backend explicitly so
+// the record never depends on XPLACE_BACKEND.
 func trajConfigs() []struct {
 	name string
 	opts xplace.PlacementOptions
@@ -209,6 +220,8 @@ func trajConfigs() []struct {
 	fast.AdaptiveGrid = true
 	lbub := ref()
 	lbub.Strategy = xplace.StrategyLBUB
+	nn := ref()
+	nn.Predictor = fieldPredictor()
 	return []struct {
 		name string
 		opts xplace.PlacementOptions
@@ -221,6 +234,7 @@ func trajConfigs() []struct {
 		{"xplace-adaptive", adaptive},
 		{"xplace-fast", fast},
 		{"xplace-lbub", lbub},
+		{"xplace-nn", nn},
 	}
 }
 
@@ -290,6 +304,16 @@ func benchTrajectory() {
 			if rel := abs(f32.HPWL-fused.HPWL) / fused.HPWL; rel > trajF32Tol {
 				fmt.Fprintf(os.Stderr, "xbench: float32 drift: HPWL %.6g vs float64 %.6g (%.1f%% > %.0f%%)\n",
 					f32.HPWL, fused.HPWL, rel*100, trajF32Tol*100)
+				os.Exit(1)
+			}
+		}
+		// NN-blend gate: the blended trajectory must track the numerical
+		// reference within the coarse band — drift means the σ(ω) blend or
+		// the predictor itself broke.
+		if nnRun, ok := rec.Run("xplace-nn"); ok {
+			if rel := abs(nnRun.HPWL-fused.HPWL) / fused.HPWL; rel > trajNNTol {
+				fmt.Fprintf(os.Stderr, "xbench: nn-blend drift: HPWL %.6g vs numerical %.6g (%.1f%% > %.0f%%)\n",
+					nnRun.HPWL, fused.HPWL, rel*100, trajNNTol*100)
 				os.Exit(1)
 			}
 		}
@@ -548,15 +572,46 @@ func trainSmallFNO() *xplace.Model {
 	return m
 }
 
+var (
+	predOnce sync.Once
+	pred     xplace.FieldPredictor
+)
+
+// fieldPredictor returns the predictor behind the Xplace-NN column and
+// the nn-blend trajectory config: the -model artifact when one is given,
+// else a small FNO trained in-process with pinned hyperparameters — fully
+// deterministic at a given -seed, which is what lets the nn-blend config
+// live in the checked-in BENCH_*.json baseline.
+func fieldPredictor() xplace.FieldPredictor {
+	predOnce.Do(func() {
+		if *modelPath != "" {
+			fh, err := os.Open(*modelPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "xbench:", err)
+				os.Exit(1)
+			}
+			defer fh.Close()
+			m, err := xplace.LoadModel(fh)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: model %s: %v\n", *modelPath, err)
+				os.Exit(1)
+			}
+			pred = xplace.NewFieldPredictor(m)
+			return
+		}
+		fmt.Println("training the small in-process FNO (supply one with -model to skip)...")
+		pred = xplace.NewFieldPredictor(trainSmallFNO())
+	})
+	return pred
+}
+
 func table2() {
 	fmt.Println("== Table 2: HPWL and runtime on the ISPD 2005 benchmarks ==")
 	fmt.Println("(HPWL after LG+DP; GP/s simulated, DP/s wall; paper shape:")
 	fmt.Println(" Xplace ~1.6x GP speedup over DREAMPlace at equal-or-better HPWL,")
 	fmt.Println(" Xplace-NN ~1 permille better HPWL than Xplace)")
 	fmt.Println()
-	fmt.Printf("training the FNO for the Xplace-NN column...\n")
-	model := trainSmallFNO()
-	pred := xplace.NewFieldPredictor(model)
+	pred := fieldPredictor()
 
 	specs := subset(benchgen.Catalog2005(), 3)
 	fmt.Printf("\n%-10s | %12s %8s %8s | %12s %8s %8s | %12s %8s %8s\n",

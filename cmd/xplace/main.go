@@ -42,7 +42,7 @@ func main() {
 		target    = flag.Float64("density", 1.0, "target density")
 		workers   = flag.Int("workers", 0, "kernel engine workers (0 = NumCPU)")
 		route     = flag.Bool("route", false, "score routability (OVFL-5) after placement")
-		model     = flag.String("model", "", "trained FNO model file (for -mode xplace-nn)")
+		model     = flag.String("model", "", "trained field-model artifact to blend into early GP (implied by -mode xplace-nn)")
 		out       = flag.String("out", "", "write placed .pl file")
 		svg       = flag.String("svg", "", "write placement SVG image")
 		trace     = flag.String("trace", "", "write an operator/kernel trace of the run as Chrome trace_event JSON (load in about:tracing or Perfetto)")
@@ -113,6 +113,20 @@ func main() {
 		tr = xplace.NewTracer()
 		sopts = append(sopts, xplace.WithTracer(tr))
 	}
+	if *mode == "xplace-nn" && *model == "" {
+		fmt.Fprintln(os.Stderr, "xplace: -mode xplace-nn requires -model (train one with xtrain)")
+		os.Exit(2)
+	}
+	if *model != "" {
+		// The artifact is integrity-checked here, at option time — a bad
+		// file is a clean CLI error, not a mid-placement failure.
+		mopt, err := xplace.WithFieldModel(*model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xplace:", err)
+			os.Exit(1)
+		}
+		sopts = append(sopts, mopt)
+	}
 	session := xplace.NewSession(sopts...)
 	defer session.Close()
 	defer eng.Close()
@@ -121,23 +135,10 @@ func main() {
 	case "baseline":
 		opts.Placement = xplace.BaselinePlacement()
 	case "xplace-nn":
+		// The model itself was installed above as a session option
+		// (WithFieldModel); the mode only selects the full-optimization
+		// placement configuration it blends into.
 		opts.Placement = xplace.DefaultPlacement()
-		if *model == "" {
-			fmt.Fprintln(os.Stderr, "xplace: -mode xplace-nn requires -model (train one with xtrain)")
-			os.Exit(2)
-		}
-		fh, err := os.Open(*model)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xplace:", err)
-			os.Exit(1)
-		}
-		m, err := xplace.LoadModel(fh)
-		fh.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xplace:", err)
-			os.Exit(1)
-		}
-		opts.Placement.Predictor = xplace.NewFieldPredictor(m)
 	default:
 		opts.Placement = xplace.DefaultPlacement()
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"xplace/internal/geom"
+	"xplace/internal/jobapi"
 	"xplace/internal/netlist"
 	"xplace/internal/serve"
 )
@@ -40,7 +41,7 @@ func TestDivergenceFallbackOverHTTP(t *testing.T) {
 	// HTTP surface generates one, which is the point: it arrived from the
 	// fuzzer). The cache key is cleared — the spec no longer matches the
 	// request it was derived from.
-	req := jobRequest{Bench: "fft_1", MaxIter: 50}
+	req := jobapi.Request{Bench: "fft_1", MaxIter: 50}
 	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"xplace/internal/jobapi"
 	"xplace/internal/serve"
 )
 
@@ -37,7 +38,7 @@ func TestHealthAndReadiness(t *testing.T) {
 	}
 
 	// Keep a job running so the drain stays in progress while we probe.
-	req := jobRequest{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
+	req := jobapi.Request{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
 	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +120,7 @@ func readSSE(t *testing.T, r io.Reader, n int) []sseEvent {
 func TestSSEResumeWithLastEventID(t *testing.T) {
 	srv, s := newTestServer(t, serve.Options{Engines: 1, QueueCap: 2, EngineWorkers: 1})
 
-	req := jobRequest{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
+	req := jobapi.Request{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
 	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	POST /jobs              submit a job (JSON body, see jobRequest)
+//	POST /jobs              submit a job (JSON body, see jobapi.Request)
 //	GET  /jobs              list all jobs
 //	GET  /jobs/{id}         one job's status
 //	GET  /jobs/{id}/events  live progress stream (Server-Sent Events)
@@ -51,10 +51,10 @@ import (
 	"xplace/internal/serve"
 )
 
-// jobRequest is the POST /jobs body; the canonical definition lives in
-// internal/jobapi so the xgate gateway derives the identical normalized
-// payload and cache/routing key.
-type jobRequest = jobapi.Request
+// The POST /jobs body is jobapi.Request — the single versioned wire
+// schema this daemon, the gateway client, and xgate all marshal through,
+// so every tier derives the identical normalized payload and
+// cache/routing key.
 
 // rehydrateRequest rebuilds a Spec from a WAL payload — the recovery
 // half of jobapi.Request.ToSpec.
@@ -71,8 +71,19 @@ func main() {
 		history   = flag.Int("history", 512, "per-job progress snapshots retained")
 		storeDir  = flag.String("store", "", "durable job store directory (empty = in-memory only)")
 		ckptEvery = flag.Int("checkpoint-every", 25, "placer checkpoint period in GP iterations (needs -store)")
+		modelsDir = flag.String("models", "", "field-model directory; each artifact is served under its file name (minus extension)")
 	)
 	flag.Parse()
+
+	var models *serve.ModelRegistry
+	if *modelsDir != "" {
+		models = serve.NewModelRegistry()
+		n, err := models.LoadDir(*modelsDir)
+		if err != nil {
+			log.Fatalf("xserve: loading models from %s: %v", *modelsDir, err)
+		}
+		log.Printf("xserve: loaded %d field models from %s: %v", n, *modelsDir, models.Names())
+	}
 
 	var store *jobstore.Store
 	if *storeDir != "" {
@@ -92,6 +103,7 @@ func main() {
 		Store:           store,
 		Rehydrate:       rehydrateRequest,
 		CheckpointEvery: *ckptEvery,
+		Models:          models,
 	})
 	if err != nil {
 		log.Fatalf("xserve: recovering store: %v", err)
@@ -251,7 +263,7 @@ func jobFrom(s *serve.Scheduler, w http.ResponseWriter, r *http.Request) (*serve
 
 func handleSubmit(s *serve.Scheduler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		var req jobRequest
+		var req jobapi.Request
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -262,12 +274,18 @@ func handleSubmit(s *serve.Scheduler) http.HandlerFunc {
 			return
 		}
 		j, err := s.Submit(spec)
+		var unknownModel *serve.UnknownModelError
 		switch {
 		case errors.Is(err, serve.ErrQueueFull):
 			writeError(w, http.StatusTooManyRequests, err)
 			return
 		case errors.Is(err, serve.ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		case errors.As(err, &unknownModel):
+			// A model this node does not hold can never succeed here: a
+			// definitive 400 (the gateway treats 4xx as non-retryable).
+			writeError(w, http.StatusBadRequest, err)
 			return
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)

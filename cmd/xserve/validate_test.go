@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"xplace/internal/jobapi"
 	"xplace/internal/jobstore"
 	"xplace/internal/serve"
 )
@@ -71,12 +72,12 @@ func TestSubmitValidation(t *testing.T) {
 // validate guards the invariant for any future transport.
 func TestScaleMustBeFinite(t *testing.T) {
 	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1} {
-		r := jobRequest{Bench: "fft_1", Scale: bad}
+		r := jobapi.Request{Bench: "fft_1", Scale: bad}
 		if err := r.Validate(); err == nil {
 			t.Errorf("scale %v accepted", bad)
 		}
 	}
-	if err := (&jobRequest{Bench: "fft_1"}).Validate(); err != nil {
+	if err := (&jobapi.Request{Bench: "fft_1"}).Validate(); err != nil {
 		t.Errorf("zero scale rejected: %v", err)
 	}
 }
@@ -85,14 +86,14 @@ func TestScaleMustBeFinite(t *testing.T) {
 // design by the documented coercion, so they must share one cache key —
 // a resubmission with the other spelling is a cache hit, not a rerun.
 func TestSeedZeroCoercionIsCanonical(t *testing.T) {
-	a := jobRequest{Bench: "fft_1"}
-	b := jobRequest{Bench: "fft_1", Scale: 0.02, Seed: 1, Mode: "xplace"}
+	a := jobapi.Request{Bench: "fft_1"}
+	b := jobapi.Request{Bench: "fft_1", Scale: 0.02, Seed: 1, Mode: "xplace"}
 	a.Normalize()
 	b.Normalize()
 	if a.CacheKey() != b.CacheKey() {
 		t.Fatalf("coerced request key %q != explicit default key %q", a.CacheKey(), b.CacheKey())
 	}
-	c := jobRequest{Bench: "fft_1", Seed: 2}
+	c := jobapi.Request{Bench: "fft_1", Seed: 2}
 	c.Normalize()
 	if c.CacheKey() == a.CacheKey() {
 		t.Fatal("distinct seeds share a cache key")
@@ -104,14 +105,14 @@ func TestSeedZeroCoercionIsCanonical(t *testing.T) {
 // cached nesterov result (or vice versa), while the explicit default
 // spelling stays canonical with the omitted one.
 func TestStrategyInCacheKey(t *testing.T) {
-	def := jobRequest{Bench: "fft_1"}
+	def := jobapi.Request{Bench: "fft_1"}
 	def.Normalize()
-	explicit := jobRequest{Bench: "fft_1", Strategy: "nesterov"}
+	explicit := jobapi.Request{Bench: "fft_1", Strategy: "nesterov"}
 	explicit.Normalize()
 	if def.CacheKey() != explicit.CacheKey() {
 		t.Fatalf("explicit default strategy key %q != omitted key %q", explicit.CacheKey(), def.CacheKey())
 	}
-	lbub := jobRequest{Bench: "fft_1", Strategy: "lbub"}
+	lbub := jobapi.Request{Bench: "fft_1", Strategy: "lbub"}
 	lbub.Normalize()
 	if lbub.CacheKey() == def.CacheKey() {
 		t.Fatal("lbub and nesterov share a cache key")
@@ -126,7 +127,7 @@ func TestEventsCloseOnDrain(t *testing.T) {
 
 	// An effectively unbounded job (MinIter pinned: the convergence stop
 	// cannot end it).
-	req := jobRequest{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
+	req := jobapi.Request{Bench: "fft_1", Scale: 0.01, MaxIter: 500000}
 	spec, err := req.ToSpec()
 	if err != nil {
 		t.Fatal(err)

@@ -1,34 +1,67 @@
 // Command xtrain trains the Fourier-neural-operator field predictor of
-// the Xplace-NN extension (§3.3 of the paper) on randomly generated
-// density maps with numerically solved electric-field labels, and saves
-// the weights for use with `xplace -mode xplace-nn -model <file>`.
+// the Xplace-NN extension (§3.3 of the paper) and writes it as a
+// versioned, integrity-checked model artifact for `xplace -model`,
+// `xbench -model` and the serving registry (`xserve -models <dir>`).
 //
-// Example:
+// Training data mixes the paper's random density maps with density maps
+// of randomly scattered contest benchmarks (-benches), both labelled by
+// the numerical Poisson solve — the model learns from the same field
+// operator it later replaces in the early placement stage.
 //
-//	xtrain -samples 64 -res 32 -epochs 30 -out fno.gob
+// Examples:
+//
+//	xtrain -samples 64 -res 32 -epochs 30 -out models/fno32.xfnm
+//	xtrain -benches adaptec1,fft_1 -per-bench 8 -out models/fno32.xfnm
+//	xtrain -stat models/fno32.xfnm
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"xplace"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xtrain:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		samples = flag.Int("samples", 48, "number of training samples")
-		res     = flag.Int("res", 32, "training resolution (power of two)")
-		epochs  = flag.Int("epochs", 25, "training epochs")
-		lr      = flag.Float64("lr", 1e-3, "Adam learning rate")
-		width   = flag.Int("width", 0, "model width (0 = paper-scale default)")
-		modes   = flag.Int("modes", 0, "retained Fourier modes (0 = default)")
-		layers  = flag.Int("layers", 0, "FNO blocks (0 = default)")
-		seed    = flag.Int64("seed", 1, "data / init seed")
-		out     = flag.String("out", "fno.gob", "output model file")
+		samples  = flag.Int("samples", 48, "number of random-map training samples")
+		benches  = flag.String("benches", "", "comma-separated benchmark names for benchmark-derived density samples ('' = random maps only)")
+		perBench = flag.Int("per-bench", 8, "samples per benchmark in -benches")
+		bscale   = flag.Float64("bench-scale", 0.004, "benchmark scale for -benches sample generation")
+		res      = flag.Int("res", 32, "training resolution (power of two)")
+		epochs   = flag.Int("epochs", 25, "training epochs")
+		lr       = flag.Float64("lr", 1e-3, "Adam learning rate")
+		width    = flag.Int("width", 0, "model width (0 = paper-scale default)")
+		modes    = flag.Int("modes", 0, "retained Fourier modes (0 = default)")
+		layers   = flag.Int("layers", 0, "FNO blocks (0 = default)")
+		seed     = flag.Int64("seed", 1, "data / init seed")
+		out      = flag.String("out", "fno.xfnm", "output model artifact")
+		stat     = flag.String("stat", "", "print a model artifact's header (version, shapes, sha256) and exit")
 	)
 	flag.Parse()
+
+	if *stat != "" {
+		fh, err := os.Open(*stat)
+		if err != nil {
+			fatal(err)
+		}
+		defer fh.Close()
+		hdr, err := xplace.StatModel(fh)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: FNO width %d, modes %d, layers %d — %d parameters\n",
+			*stat, hdr.Config.Width, hdr.Config.Modes, hdr.Config.Layers, hdr.ParamCount)
+		fmt.Printf("  trained at %dx%d, payload sha256 %s\n", hdr.TrainRes, hdr.TrainRes, hdr.SHA256)
+		return
+	}
 
 	cfg := xplace.DefaultModelConfig()
 	if *width > 0 {
@@ -46,11 +79,24 @@ func main() {
 	fmt.Printf("model: width %d, modes %d, layers %d — %d parameters (paper: 471k)\n",
 		cfg.Width, cfg.Modes, cfg.Layers, m.ParamCount())
 
-	fmt.Printf("generating %d samples at %dx%d...\n", *samples, *res, *res)
+	fmt.Printf("generating %d random samples at %dx%d...\n", *samples, *res, *res)
 	train := xplace.GenerateTrainingSamples(*samples, *res, *res, *seed)
+	if *benches != "" {
+		names := strings.Split(*benches, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		fmt.Printf("generating %d benchmark samples (%s at scale %g)...\n",
+			*perBench*len(names), strings.Join(names, ", "), *bscale)
+		bs, err := xplace.GenerateBenchmarkTrainingSamples(names, *perBench, *res, *bscale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		train = append(train, bs...)
+	}
 	test := xplace.GenerateTrainingSamples(*samples/4+1, *res, *res, *seed+1000)
 
-	fmt.Printf("untrained rel-L2: train-dist %.3f\n", m.Evaluate(test))
+	fmt.Printf("untrained rel-L2: held-out %.3f\n", m.Evaluate(test))
 	m.Train(train, xplace.TrainOptions{
 		Epochs: *epochs, LR: *lr, Seed: *seed,
 		Log: func(ep int, loss float64) {
@@ -62,17 +108,24 @@ func main() {
 
 	fh, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "xtrain:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := m.Save(fh); err != nil {
 		fh.Close()
-		fmt.Fprintln(os.Stderr, "xtrain:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := fh.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "xtrain:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Println("saved", *out)
+	// Round-trip the header so what we report is what a loader will see.
+	rf, err := os.Open(*out)
+	if err != nil {
+		fatal(err)
+	}
+	hdr, err := xplace.StatModel(rf)
+	rf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("saved %s (%d params, sha256 %s...)\n", *out, hdr.ParamCount, hdr.SHA256[:12])
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"xplace/internal/benchgen"
@@ -44,6 +45,12 @@ type Request struct {
 	Timeout  string  `json:"timeout,omitempty"`  // e.g. "30s"
 	Label    string  `json:"label,omitempty"`
 	Trace    bool    `json:"trace,omitempty"` // record a per-job operator trace
+	// Model names a field model from the worker's registry (-models dir)
+	// to blend into the early placement stage (§3.3). Empty runs the pure
+	// numerical flow. An unknown name is rejected with 400 at submission
+	// (serve.UnknownModelError). The model changes the converged result,
+	// so it is part of the cache key.
+	Model string `json:"model,omitempty"`
 	// AllowDraft opts the job into the gateway's graceful-degradation
 	// path: when every worker queue is at backpressure, the gateway may
 	// answer with a locally computed lbub draft placement instead of
@@ -71,6 +78,15 @@ func (r *Request) Validate() error {
 	// unknown value is a 400 instead of a failure deep in the engine.
 	if _, err := placer.ParseStrategy(r.Strategy); err != nil {
 		return err
+	}
+	// Model NAMES are validated against the registry by the worker's
+	// scheduler (only it knows what is loaded); here we only keep the
+	// name safe for the cache key it becomes part of.
+	if strings.ContainsAny(r.Model, "|=\n") {
+		return fmt.Errorf("model %q must not contain '|', '=' or newlines", r.Model)
+	}
+	if len(r.Model) > 128 {
+		return fmt.Errorf("model name longer than 128 bytes")
 	}
 	return nil
 }
@@ -106,8 +122,8 @@ func (r *Request) CacheKey() string {
 	// Strategy is part of the content address: the same request under
 	// nesterov and lbub converges to different placements, so the two
 	// must never collide in the result cache.
-	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|strategy=%s|max_iter=%d|grid=%d",
-		r.Bench, r.Scale, r.Seed, r.Mode, r.Strategy, r.MaxIter, r.Grid)
+	return fmt.Sprintf("bench=%s|scale=%g|seed=%d|mode=%s|strategy=%s|max_iter=%d|grid=%d|model=%s",
+		r.Bench, r.Scale, r.Seed, r.Mode, r.Strategy, r.MaxIter, r.Grid, r.Model)
 }
 
 // ToSpec validates and normalizes the request in place, then expands it
@@ -163,6 +179,7 @@ func (r *Request) ToSpec() (serve.Spec, error) {
 		Trace:   r.Trace,
 		Payload: payload,
 		Key:     r.CacheKey(),
+		Model:   r.Model,
 	}, nil
 }
 

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Model artifacts are a small framed format so a load failure says *why*:
+//
+//	magic "XFNM" | version u32 LE | header length u32 LE | header JSON | payload
+//
+// The header carries the architecture, the training resolution, the
+// parameter count, and the sha256 of the payload; the payload is a gob
+// stream of the flat parameter groups. Load verifies the frame before
+// touching the payload, so truncated, bit-flipped, or wrong-shape
+// artifacts fail with a typed, descriptive error instead of silently
+// producing a mis-sized model.
+
+// Typed artifact errors. Wrap details with fmt.Errorf("...: %w", Err...)
+// so callers can errors.Is on the class while still seeing the cause.
+var (
+	// ErrNotModel means the input is not a model artifact at all (bad
+	// magic, or shorter than the fixed frame).
+	ErrNotModel = errors.New("nn: not a model artifact")
+	// ErrModelVersion means the artifact frame is valid but its schema
+	// version is newer than this binary understands.
+	ErrModelVersion = errors.New("nn: unsupported model artifact version")
+	// ErrModelCorrupt means the frame parsed but the content is damaged
+	// or inconsistent: truncated payload, sha256 mismatch, invalid
+	// config, or parameter shapes that disagree with the header.
+	ErrModelCorrupt = errors.New("nn: corrupt model artifact")
+)
+
+// artifactMagic identifies an Xplace FNO model file.
+var artifactMagic = [4]byte{'X', 'F', 'N', 'M'}
+
+// ArtifactVersion is the current schema version written by Save.
+const ArtifactVersion = 1
+
+// maxHeaderLen bounds the header frame so a corrupt length field cannot
+// drive a giant allocation.
+const maxHeaderLen = 1 << 16
+
+// ArtifactHeader is the JSON metadata framed ahead of the parameter
+// payload.
+type ArtifactHeader struct {
+	Config     Config `json:"config"`
+	TrainRes   int    `json:"train_res"`   // grid size the model was trained on (0 = unknown)
+	ParamCount int    `json:"param_count"` // trainable scalars
+	SHA256     string `json:"sha256"`      // hex sha256 of the payload
+}
+
+// Save serializes the model as a versioned artifact.
+func (m *Model) Save(w io.Writer) error {
+	ps, _ := m.params()
+	groups := make([][]float64, len(ps))
+	for i, p := range ps {
+		groups[i] = append([]float64(nil), p...)
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(groups); err != nil {
+		return fmt.Errorf("nn: encoding params: %w", err)
+	}
+	sum := sha256.Sum256(payload.Bytes())
+	hdr := ArtifactHeader{
+		Config:     m.Cfg,
+		TrainRes:   m.TrainRes,
+		ParamCount: m.ParamCount(),
+		SHA256:     hex.EncodeToString(sum[:]),
+	}
+	hdrJSON, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: encoding header: %w", err)
+	}
+	if _, err := w.Write(artifactMagic[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], ArtifactVersion)
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(hdrJSON)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(hdrJSON); err != nil {
+		return err
+	}
+	_, err = w.Write(payload.Bytes())
+	return err
+}
+
+// Stat reads and validates only the artifact frame (magic, version,
+// header), without decoding the parameter payload. The reader is left
+// positioned at the start of the payload.
+func Stat(r io.Reader) (ArtifactHeader, error) {
+	var hdr ArtifactHeader
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return hdr, fmt.Errorf("%w: %v", ErrNotModel, err)
+	}
+	if magic != artifactMagic {
+		return hdr, fmt.Errorf("%w: bad magic %q", ErrNotModel, magic[:])
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return hdr, fmt.Errorf("%w: truncated version field: %v", ErrModelCorrupt, err)
+	}
+	version := binary.LittleEndian.Uint32(u32[:])
+	if version != ArtifactVersion {
+		return hdr, fmt.Errorf("%w: version %d, this build reads %d", ErrModelVersion, version, ArtifactVersion)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return hdr, fmt.Errorf("%w: truncated header length: %v", ErrModelCorrupt, err)
+	}
+	hlen := binary.LittleEndian.Uint32(u32[:])
+	if hlen == 0 || hlen > maxHeaderLen {
+		return hdr, fmt.Errorf("%w: header length %d out of range", ErrModelCorrupt, hlen)
+	}
+	hdrJSON := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hdrJSON); err != nil {
+		return hdr, fmt.Errorf("%w: truncated header: %v", ErrModelCorrupt, err)
+	}
+	if err := json.Unmarshal(hdrJSON, &hdr); err != nil {
+		return hdr, fmt.Errorf("%w: decoding header: %v", ErrModelCorrupt, err)
+	}
+	if err := hdr.Config.Validate(); err != nil {
+		return hdr, fmt.Errorf("%w: %v", ErrModelCorrupt, err)
+	}
+	return hdr, nil
+}
+
+// Load restores a model saved with Save, verifying the frame, the
+// payload checksum, and every parameter-group shape before returning.
+func Load(r io.Reader) (*Model, error) {
+	hdr, err := Stat(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading payload: %v", ErrModelCorrupt, err)
+	}
+	sum := sha256.Sum256(payload)
+	if got := hex.EncodeToString(sum[:]); got != hdr.SHA256 {
+		return nil, fmt.Errorf("%w: payload sha256 %.12s... does not match header %.12s... (truncated or bit-flipped file)",
+			ErrModelCorrupt, got, hdr.SHA256)
+	}
+	var groups [][]float64
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&groups); err != nil {
+		return nil, fmt.Errorf("%w: decoding params: %v", ErrModelCorrupt, err)
+	}
+	m := NewModel(hdr.Config)
+	if n := m.ParamCount(); hdr.ParamCount != n {
+		return nil, fmt.Errorf("%w: header says %d params, config %+v builds %d (wrong-shape artifact)",
+			ErrModelCorrupt, hdr.ParamCount, hdr.Config, n)
+	}
+	ps, _ := m.params()
+	if len(ps) != len(groups) {
+		return nil, fmt.Errorf("%w: %d param groups, want %d", ErrModelCorrupt, len(groups), len(ps))
+	}
+	for i := range ps {
+		if len(ps[i]) != len(groups[i]) {
+			return nil, fmt.Errorf("%w: param group %d has %d values, want %d", ErrModelCorrupt, i, len(groups[i]), len(ps[i]))
+		}
+		copy(ps[i], groups[i])
+	}
+	m.TrainRes = hdr.TrainRes
+	m.ArtifactSHA = hdr.SHA256
+	return m, nil
+}

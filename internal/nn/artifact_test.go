@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func savedSmallModel(t *testing.T) (*Model, []byte) {
+	t.Helper()
+	m := NewModel(smallCfg())
+	samples := GenerateSamples(3, 16, 16, 41)
+	m.Train(samples, TrainOptions{Epochs: 2, LR: 1e-3})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return m, buf.Bytes()
+}
+
+func TestArtifactHeaderRoundTrip(t *testing.T) {
+	m, raw := savedSmallModel(t)
+	hdr, err := Stat(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Config != m.Cfg {
+		t.Errorf("header config %+v != model %+v", hdr.Config, m.Cfg)
+	}
+	if hdr.TrainRes != 16 {
+		t.Errorf("train res %d, want 16", hdr.TrainRes)
+	}
+	if hdr.ParamCount != m.ParamCount() {
+		t.Errorf("param count %d, want %d", hdr.ParamCount, m.ParamCount())
+	}
+	if len(hdr.SHA256) != 64 {
+		t.Errorf("sha256 %q not 64 hex chars", hdr.SHA256)
+	}
+	m2, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.TrainRes != 16 || m2.ArtifactSHA != hdr.SHA256 {
+		t.Errorf("loaded model metadata = (%d, %q), want (16, %q)", m2.TrainRes, m2.ArtifactSHA, hdr.SHA256)
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	_, raw := savedSmallModel(t)
+	// Chop at several depths: inside the magic, the header, the payload.
+	for _, n := range []int{0, 2, 6, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := Load(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncation at %d bytes: want error, got nil", n)
+		} else if !errors.Is(err, ErrNotModel) && !errors.Is(err, ErrModelCorrupt) {
+			t.Errorf("truncation at %d bytes: error %v is not typed", n, err)
+		}
+	}
+}
+
+func TestLoadRejectsBitFlip(t *testing.T) {
+	_, raw := savedSmallModel(t)
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-20] ^= 0x40 // flip a payload bit
+	_, err := Load(bytes.NewReader(corrupt))
+	if !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("want ErrModelCorrupt for bit-flipped payload, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "sha256") {
+		t.Errorf("error %q does not mention the checksum", err)
+	}
+}
+
+func TestLoadRejectsWrongShape(t *testing.T) {
+	_, raw := savedSmallModel(t)
+	// Rewrite the header to claim a different architecture; the payload
+	// sha still matches, so the shape check must catch it.
+	hlen := binary.LittleEndian.Uint32(raw[8:12])
+	hdr := raw[12 : 12+int(hlen)]
+	bigger := bytes.Replace(hdr, []byte(`"Width":6`), []byte(`"Width":8`), 1)
+	if bytes.Equal(bigger, hdr) {
+		t.Fatal("header rewrite did not take; test setup broken")
+	}
+	var buf bytes.Buffer
+	buf.Write(raw[:8])
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(bigger)))
+	buf.Write(u32[:])
+	buf.Write(bigger)
+	buf.Write(raw[12+int(hlen):])
+	_, err := Load(bytes.NewReader(buf.Bytes()))
+	if !errors.Is(err, ErrModelCorrupt) {
+		t.Fatalf("want ErrModelCorrupt for wrong-shape artifact, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongMagicAndVersion(t *testing.T) {
+	_, raw := savedSmallModel(t)
+	wrongMagic := append([]byte("GOBX"), raw[4:]...)
+	if _, err := Load(bytes.NewReader(wrongMagic)); !errors.Is(err, ErrNotModel) {
+		t.Errorf("want ErrNotModel for bad magic, got %v", err)
+	}
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[4:8], 99)
+	if _, err := Load(bytes.NewReader(future)); !errors.Is(err, ErrModelVersion) {
+		t.Errorf("want ErrModelVersion for future version, got %v", err)
+	}
+}
+
+func TestGenerateBenchSamples(t *testing.T) {
+	samples, err := GenerateBenchSamples([]string{"adaptec1"}, 2, 16, 16, 0.003, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(samples))
+	}
+	var mass float64
+	for _, v := range samples[0].Density {
+		mass += v
+	}
+	if mass <= 0 {
+		t.Error("bench-derived density map is empty")
+	}
+	if _, err := GenerateBenchSamples([]string{"nope"}, 1, 8, 8, 0.01, 1); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}

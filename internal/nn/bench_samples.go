@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xplace/internal/benchgen"
+	"xplace/internal/field"
+	"xplace/internal/geom"
+	"xplace/internal/kernel"
+)
+
+// GenerateBenchSamples derives training samples from the synthetic
+// contest benchmarks instead of purely random blobs: each requested
+// design is generated at the given scale, its movable cells are thrown
+// to random positions (the distributions the early placer stage
+// actually sees), the density is scattered onto an h x w grid over the
+// design region, and the map is labeled with the numerical Poisson
+// solve — §3.3's "randomly distributed density maps" drawn from real
+// design statistics. perBench placements are sampled per design.
+func GenerateBenchSamples(benches []string, perBench, h, w int, scale float64, seed int64) ([]Sample, error) {
+	if perBench <= 0 || h <= 0 || w <= 0 {
+		return nil, fmt.Errorf("nn: bench samples need perBench, h, w > 0")
+	}
+	e := kernel.New(kernel.Options{Workers: 1})
+	out := make([]Sample, 0, len(benches)*perBench)
+	for bi, name := range benches {
+		spec, ok := benchgen.FindSpec(name)
+		if !ok {
+			return nil, fmt.Errorf("nn: unknown benchmark %q", name)
+		}
+		d := benchgen.Generate(spec, scale, seed)
+		grid := geom.NewGrid(d.Region, w, h)
+		sys := field.NewSystem(grid, e)
+		rng := rand.New(rand.NewSource(seed + int64(bi)*7919))
+		x := append([]float64(nil), d.CellX...)
+		y := append([]float64(nil), d.CellY...)
+		movable := d.MovableCells()
+		dens := make([]float64, h*w)
+		for s := 0; s < perBench; s++ {
+			for _, c := range movable {
+				x[c] = d.Region.Lx + rng.Float64()*(d.Region.Hx-d.Region.Lx)
+				y[c] = d.Region.Ly + rng.Float64()*(d.Region.Hy-d.Region.Ly)
+			}
+			sys.ScatterDensity(e, d, x, y, field.MaskAll, dens, "nn.bench_scatter")
+			copy(sys.Total, dens)
+			sys.SolvePoisson(e)
+			out = append(out, Sample{
+				Density: append([]float64(nil), dens...),
+				Ex:      append([]float64(nil), sys.Ex...),
+				Ey:      append([]float64(nil), sys.Ey...),
+				H:       h, W: w,
+			})
+		}
+		sys.Release(e)
+	}
+	return out, nil
+}

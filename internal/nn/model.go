@@ -384,16 +384,37 @@ func (b *block) backward(g tensorCH) tensorCH {
 
 // Model is the full two-path FNO of Figure 3.
 type Model struct {
-	Cfg    Config
+	Cfg Config
+	// TrainRes is the grid resolution the model was trained on (0 if
+	// never trained). Informational: the FNO is resolution-independent,
+	// but the value is recorded in saved artifacts.
+	TrainRes int
+	// ArtifactSHA is the payload sha256 of the artifact this model was
+	// loaded from ("" for freshly constructed models).
+	ArtifactSHA string
+
 	lift   *conv1x1
 	blocks []*block
 	proj   *conv1x1
 }
 
+// Validate reports whether the config describes a buildable model. The
+// upper bounds keep a corrupt artifact header from driving absurd
+// allocations.
+func (cfg Config) Validate() error {
+	if cfg.Width <= 0 || cfg.Modes <= 0 || cfg.Layers <= 0 {
+		return fmt.Errorf("nn: invalid config %+v: width, modes and layers must be positive", cfg)
+	}
+	if cfg.Width > 1024 || cfg.Modes > 1024 || cfg.Layers > 128 {
+		return fmt.Errorf("nn: invalid config %+v: width/modes <= 1024, layers <= 128", cfg)
+	}
+	return nil
+}
+
 // NewModel builds a randomly initialized model.
 func NewModel(cfg Config) *Model {
-	if cfg.Width <= 0 || cfg.Modes <= 0 || cfg.Layers <= 0 {
-		panic("nn: invalid config")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{Cfg: cfg}

@@ -1,9 +1,6 @@
 package nn
 
 import (
-	"encoding/gob"
-	"fmt"
-	"io"
 	"math"
 	"math/rand"
 
@@ -103,6 +100,9 @@ func (m *Model) Train(samples []Sample, opts TrainOptions) []float64 {
 	}
 	if opts.LR <= 0 {
 		opts.LR = 1e-3
+	}
+	if len(samples) > 0 && m.TrainRes == 0 {
+		m.TrainRes = samples[0].H
 	}
 	ps, gs := m.params()
 	mom := make([][]float64, len(ps))
@@ -215,38 +215,3 @@ func (p *Predictor) PredictField(density []float64, nx, ny int, exOut, eyOut []f
 	copy(eyOut, p.M.predictY(density, ny, nx))
 }
 
-// modelDisk is the gob wire format.
-type modelDisk struct {
-	Cfg    Config
-	Params [][]float64
-}
-
-// Save serializes the model.
-func (m *Model) Save(w io.Writer) error {
-	ps, _ := m.params()
-	disk := modelDisk{Cfg: m.Cfg, Params: make([][]float64, len(ps))}
-	for i, p := range ps {
-		disk.Params[i] = append([]float64(nil), p...)
-	}
-	return gob.NewEncoder(w).Encode(&disk)
-}
-
-// Load restores a model saved with Save.
-func Load(r io.Reader) (*Model, error) {
-	var disk modelDisk
-	if err := gob.NewDecoder(r).Decode(&disk); err != nil {
-		return nil, fmt.Errorf("nn: decoding model: %w", err)
-	}
-	m := NewModel(disk.Cfg)
-	ps, _ := m.params()
-	if len(ps) != len(disk.Params) {
-		return nil, fmt.Errorf("nn: param group count %d != %d", len(disk.Params), len(ps))
-	}
-	for i := range ps {
-		if len(ps[i]) != len(disk.Params[i]) {
-			return nil, fmt.Errorf("nn: param group %d size %d != %d", i, len(disk.Params[i]), len(ps[i]))
-		}
-		copy(ps[i], disk.Params[i])
-	}
-	return m, nil
-}

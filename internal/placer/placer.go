@@ -272,10 +272,13 @@ type Placer struct {
 	mOCSaved     *obs.Counter
 	mOEReuse     *obs.Counter
 	mOSSkips     *obs.Counter
+	mNNBlend     *obs.Counter
 	gOmega       *obs.Gauge
 	gLambda      *obs.Gauge
 	gGamma       *obs.Gauge
 	gOverflow    *obs.Gauge
+	gNNSigma     *obs.Gauge
+	gNNResidual  *obs.Gauge
 	hIter        *obs.Histogram
 
 	// Gradient buffers (cell-indexed over the augmented design).
@@ -438,6 +441,11 @@ func (p *Placer) initInstruments() {
 	p.gLambda = m.Gauge("xplace_lambda", "current density weight lambda")
 	p.gGamma = m.Gauge("xplace_gamma", "current wirelength smoothing gamma")
 	p.gOverflow = m.Gauge("xplace_overflow", "current density overflow ratio")
+	p.mNNBlend = m.Counter("xplace_nn_blend_iterations_total",
+		"GP iterations that blended the neural field prediction (§3.3)")
+	p.gNNSigma = m.Gauge("xplace_nn_sigma", "Eq. 14 neural blend weight sigma(omega)")
+	p.gNNResidual = m.Gauge("xplace_nn_residual",
+		"relative L2 residual of the predicted field vs the numerical solve")
 	p.hIter = m.Histogram("xplace_iteration_seconds", "GP iteration wall time", nil)
 }
 
@@ -802,4 +810,23 @@ func metricsRecord(p *Placer, hpwl, wa, gamma, lambda float64) metrics.Record {
 // which starts near 0.9 at omega=0 and falls below 0.05 past omega~0.25.
 func sigmaBlend(omega float64) float64 {
 	return 1 - 1/(1+5*math.Exp(0.5-omega/0.05))
+}
+
+// fieldResidual measures the relative L2 distance between the predicted
+// field (exBlend/eyBlend) and the numerical solve (sys.Ex/Ey), both
+// directions combined. Only evaluated when instrumentation is attached —
+// it is a host-side reduction over the full grid.
+func (p *Placer) fieldResidual() float64 {
+	var diff, ref float64
+	ex, ey := p.sys.Ex, p.sys.Ey
+	for i := range ex {
+		dx := p.exBlend[i] - ex[i]
+		dy := p.eyBlend[i] - ey[i]
+		diff += dx*dx + dy*dy
+		ref += ex[i]*ex[i] + ey[i]*ey[i]
+	}
+	if ref < 1e-12 {
+		ref = 1e-12
+	}
+	return math.Sqrt(diff / ref)
 }

@@ -235,13 +235,22 @@ func (p *Placer) computeDensity(vx, vy []float64) {
 	p.lastEnergy = p.sys.SolvePoisson(e)
 
 	// Neural extension (§3.3): blend the predicted field into the
-	// numerical one with sigma(omega) before gathering.
+	// numerical one with sigma(omega) before gathering. Once sigma
+	// underflows the cutoff the predictor is never called again and this
+	// path is bit-identical to the predictor-free placer.
 	if p.opts.Predictor != nil {
 		sigma := sigmaBlend(p.schd.Omega())
+		p.gNNSigma.Set(sigma)
 		if sigma > 1e-3 {
+			gs := p.beginGroup()
 			p.opts.Predictor.PredictField(p.sys.Total, p.sys.Nx, p.sys.Ny, p.exBlend, p.eyBlend)
+			if p.instrumented {
+				p.gNNResidual.Set(p.fieldResidual())
+			}
 			p.curSigma = sigma
 			e.Launch("nn.blend_field", len(p.sys.Ex), p.blendBody)
+			p.mNNBlend.Inc()
+			p.endGroup(gs, "op.nn")
 		}
 	}
 	p.sys.GatherField(e, d, vx, vy, field.MaskPlaceable, p.dGX, p.dGY)

@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xplace/internal/nn"
+	"xplace/internal/obs"
+)
+
+// UnknownModelError is returned by Submit (and by a recovered job's run)
+// when a request names a field model the registry does not hold. The
+// daemon maps it to HTTP 400 — the request can never succeed on this
+// node as-is.
+type UnknownModelError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownModelError) Error() string {
+	if len(e.Known) == 0 {
+		return fmt.Sprintf("serve: unknown model %q (no models loaded)", e.Name)
+	}
+	return fmt.Sprintf("serve: unknown model %q (loaded: %s)", e.Name, strings.Join(e.Known, ", "))
+}
+
+// ModelRegistry holds the named, immutable field models a scheduler can
+// attach to jobs. Models are loaded once (at daemon startup, from the
+// -models dir) and shared by every job that names them — the FNO forward
+// pass is read-only, so one copy serves any number of concurrent jobs.
+// Acquire/release refcounts track how many running jobs hold each model.
+type ModelRegistry struct {
+	mu     sync.Mutex
+	models map[string]*modelEntry
+}
+
+type modelEntry struct {
+	model *nn.Model
+	refs  int64
+}
+
+// NewModelRegistry returns an empty registry.
+func NewModelRegistry() *ModelRegistry {
+	return &ModelRegistry{models: map[string]*modelEntry{}}
+}
+
+// Load reads one model artifact from r and registers it under name.
+// Loading a name twice is an error — models are immutable for the
+// registry's lifetime so jobs never observe a swap mid-run.
+func (g *ModelRegistry) Load(name string, r io.Reader) error {
+	m, err := nn.Load(r)
+	if err != nil {
+		return fmt.Errorf("model %q: %w", name, err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.models[name]; dup {
+		return fmt.Errorf("model %q: already loaded", name)
+	}
+	g.models[name] = &modelEntry{model: m}
+	return nil
+}
+
+// LoadDir loads every regular file in dir as a model artifact; the model
+// name is the file name without its extension ("fno32.xfnm" -> "fno32").
+// Any unreadable or invalid artifact fails the whole load — a daemon
+// must not come up silently missing a model it was pointed at.
+func (g *ModelRegistry) LoadDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, ent := range entries {
+		if ent.IsDir() || strings.HasPrefix(ent.Name(), ".") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return n, err
+		}
+		name := strings.TrimSuffix(ent.Name(), filepath.Ext(ent.Name()))
+		err = g.Load(name, f)
+		f.Close()
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Names returns the loaded model names, sorted.
+func (g *ModelRegistry) Names() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.models))
+	for name := range g.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of loaded models.
+func (g *ModelRegistry) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.models)
+}
+
+// Has reports whether name is loaded.
+func (g *ModelRegistry) Has(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.models[name]
+	return ok
+}
+
+// Model returns the shared immutable model for name (read-only use).
+func (g *ModelRegistry) Model(name string) (*nn.Model, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.models[name]
+	if !ok {
+		return nil, false
+	}
+	return e.model, true
+}
+
+// Acquire takes a refcounted handle on name for the duration of a job.
+// The release func must be called exactly once when the job is done with
+// the model.
+func (g *ModelRegistry) Acquire(name string) (*nn.Model, func(), error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.models[name]
+	if !ok {
+		known := make([]string, 0, len(g.models))
+		for n := range g.models {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		return nil, nil, &UnknownModelError{Name: name, Known: known}
+	}
+	e.refs++
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			g.mu.Lock()
+			e.refs--
+			g.mu.Unlock()
+		})
+	}
+	return e.model, release, nil
+}
+
+// Refs returns the live reference count for name (0 for unknown names).
+func (g *ModelRegistry) Refs(name string) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.models[name]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+func (g *ModelRegistry) totalRefs() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, e := range g.models {
+		n += e.refs
+	}
+	return n
+}
+
+// defaultBatchWindow is the micro-batch coalescing window: after the
+// first PredictField request arrives, the batcher waits this long for
+// requests from other concurrent jobs before running the batch.
+const defaultBatchWindow = 500 * time.Microsecond
+
+// maxNNBatch bounds one micro-batch (more engines than this on one
+// scheduler would be unusual).
+const maxNNBatch = 64
+
+// predictReq is one job's blocking PredictField call, in flight to the
+// batcher.
+type predictReq struct {
+	model  *nn.Model
+	dens   []float64
+	nx, ny int
+	ex, ey []float64
+	done   chan struct{}
+}
+
+// nnBatcher serializes all PredictField calls of a scheduler through one
+// goroutine, coalescing requests that arrive within the batch window
+// into a micro-batch. Concurrent jobs therefore share a single inference
+// path (and the models' read-only weights) instead of racing N forward
+// passes across the engine workers' caches.
+type nnBatcher struct {
+	reqs   chan *predictReq
+	stop   chan struct{}
+	done   chan struct{}
+	window time.Duration
+
+	batches   *obs.Counter
+	requests  *obs.Counter
+	coalesced *obs.Counter
+}
+
+func newNNBatcher(window time.Duration, reg *obs.Registry) *nnBatcher {
+	if window <= 0 {
+		window = defaultBatchWindow
+	}
+	b := &nnBatcher{
+		reqs:   make(chan *predictReq, maxNNBatch),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		window: window,
+		batches: reg.Counter("xserve_nn_batch_total",
+			"micro-batches executed by the shared inference path"),
+		requests: reg.Counter("xserve_nn_batch_requests_total",
+			"PredictField calls served by the shared inference path"),
+		coalesced: reg.Counter("xserve_nn_batch_coalesced_total",
+			"PredictField calls that shared a micro-batch with another job"),
+	}
+	go b.run()
+	return b
+}
+
+func (b *nnBatcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.stop:
+			return
+		case r := <-b.reqs:
+			batch := b.collect(r)
+			for _, q := range batch {
+				p := nn.Predictor{M: q.model}
+				p.PredictField(q.dens, q.nx, q.ny, q.ex, q.ey)
+				close(q.done)
+			}
+			b.batches.Inc()
+			b.requests.Add(int64(len(batch)))
+			if len(batch) > 1 {
+				b.coalesced.Add(int64(len(batch)))
+			}
+		}
+	}
+}
+
+// collect gathers the micro-batch: the first request plus whatever other
+// jobs submit within the window.
+func (b *nnBatcher) collect(first *predictReq) []*predictReq {
+	batch := []*predictReq{first}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < maxNNBatch {
+		select {
+		case r := <-b.reqs:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// shutdown stops the batcher after the last worker has exited (no
+// requests can be in flight).
+func (b *nnBatcher) shutdown() {
+	close(b.stop)
+	<-b.done
+}
+
+// batchedPredictor adapts one job's placer FieldPredictor hook onto the
+// scheduler's shared batcher. PredictField blocks the job's worker until
+// the batch containing its request has run, so the density/field buffers
+// (owned by the job's placer) are never touched concurrently.
+type batchedPredictor struct {
+	b     *nnBatcher
+	model *nn.Model
+}
+
+func (p *batchedPredictor) PredictField(density []float64, nx, ny int, exOut, eyOut []float64) {
+	req := &predictReq{model: p.model, dens: density, nx: nx, ny: ny, ex: exOut, ey: eyOut,
+		done: make(chan struct{})}
+	p.b.reqs <- req
+	<-req.done
+}

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xplace/internal/nn"
+)
+
+// quickModel trains a deliberately tiny (and weak) model — these tests
+// exercise the registry and the batched inference plumbing, not
+// placement quality.
+func quickModel(tb testing.TB, seed int64) *nn.Model {
+	tb.Helper()
+	m := nn.NewModel(nn.Config{Width: 4, Modes: 3, Layers: 1, Seed: seed})
+	m.Train(nn.GenerateSamples(4, 16, 16, seed), nn.TrainOptions{Epochs: 2, LR: 1e-3, Seed: seed})
+	return m
+}
+
+func writeModelFile(tb testing.TB, dir, name string, m *nn.Model) string {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	return path
+}
+
+func TestModelRegistryLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "fno-a.xfnm", quickModel(t, 1))
+	writeModelFile(t, dir, "fno-b.xfnm", quickModel(t, 2))
+	if err := os.WriteFile(filepath.Join(dir, ".hidden"), []byte("skip me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewModelRegistry()
+	n, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || reg.Len() != 2 {
+		t.Fatalf("loaded %d models (registry %d), want 2", n, reg.Len())
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "fno-a" || names[1] != "fno-b" {
+		t.Fatalf("names = %v, want [fno-a fno-b] (extension stripped)", names)
+	}
+
+	// A corrupt artifact fails the whole directory load, typed.
+	bad := t.TempDir()
+	writeModelFile(t, bad, "ok.xfnm", quickModel(t, 3))
+	if err := os.WriteFile(filepath.Join(bad, "broken.xfnm"), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewModelRegistry().LoadDir(bad); !errors.Is(err, nn.ErrNotModel) {
+		t.Fatalf("corrupt dir load: got %v, want ErrNotModel", err)
+	}
+}
+
+func TestModelRegistryAcquireRefcounts(t *testing.T) {
+	reg := NewModelRegistry()
+	var buf bytes.Buffer
+	if err := quickModel(t, 1).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("m", &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, rel1, err := reg.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, rel2, err := reg.Acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("two acquires returned different model instances; must share one")
+	}
+	if got := reg.Refs("m"); got != 2 {
+		t.Errorf("refs = %d, want 2", got)
+	}
+	rel1()
+	rel1() // double release must not double-decrement
+	if got := reg.Refs("m"); got != 1 {
+		t.Errorf("refs after release = %d, want 1", got)
+	}
+	rel2()
+	if got := reg.Refs("m"); got != 0 {
+		t.Errorf("refs after all releases = %d, want 0", got)
+	}
+
+	var unk *UnknownModelError
+	if _, _, err := reg.Acquire("ghost"); !errors.As(err, &unk) {
+		t.Fatalf("acquire unknown: got %v, want UnknownModelError", err)
+	} else if unk.Name != "ghost" || len(unk.Known) != 1 || unk.Known[0] != "m" {
+		t.Errorf("error detail %+v, want name ghost and known [m]", unk)
+	}
+}
+
+func TestSubmitRejectsUnknownModel(t *testing.T) {
+	reg := NewModelRegistry()
+	var buf bytes.Buffer
+	if err := quickModel(t, 1).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Load("good", &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNew(t, Options{Engines: 1, Models: reg})
+	defer s.Shutdown(context.Background())
+
+	d := testDesign(t, 60, 3)
+	var unk *UnknownModelError
+	if _, err := s.Submit(Spec{Design: d, Options: testOpts(50), Model: "nope"}); !errors.As(err, &unk) {
+		t.Fatalf("submit unknown model: got %v, want UnknownModelError", err)
+	}
+
+	// No registry at all: every model request is unknown.
+	s2 := mustNew(t, Options{Engines: 1})
+	defer s2.Shutdown(context.Background())
+	if _, err := s2.Submit(Spec{Design: d, Options: testOpts(50), Model: "good"}); !errors.As(err, &unk) {
+		t.Fatalf("submit without registry: got %v, want UnknownModelError", err)
+	}
+}
+
+// TestBatchedInferenceSharedAcrossJobs is the serving acceptance gate:
+// four concurrent jobs naming the same model share one registry entry
+// and drain their PredictField calls through the scheduler's single
+// batched-inference goroutine (xserve_nn_batch_total > 0; run under
+// -race in the CI nn lane).
+func TestBatchedInferenceSharedAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	writeModelFile(t, dir, "shared.xfnm", quickModel(t, 1))
+	reg := NewModelRegistry()
+	if _, err := reg.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s := mustNew(t, Options{
+		Engines:       4,
+		EngineWorkers: 1,
+		Models:        reg,
+		// A wide window so the four jobs' early-iteration predictions
+		// actually coalesce.
+		ModelBatchWindow: 2 * time.Millisecond,
+	})
+
+	d := testDesign(t, 300, 7)
+	jobs := make([]*Job, 4)
+	for i := range jobs {
+		j, err := s.Submit(Spec{Design: d, Options: testOpts(400), Model: "shared", Label: "nn"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", j.ID(), err)
+		}
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	batches := s.batcher.batches.Value()
+	requests := s.batcher.requests.Value()
+	coalesced := s.batcher.coalesced.Value()
+	if batches <= 0 {
+		t.Error("xserve_nn_batch_total = 0, want > 0")
+	}
+	if requests < batches {
+		t.Errorf("requests %d < batches %d", requests, batches)
+	}
+	if got := s.nnJobs.Value(); got != 4 {
+		t.Errorf("xserve_nn_jobs_total = %d, want 4", got)
+	}
+	if got := reg.Refs("shared"); got != 0 {
+		t.Errorf("model refs after drain = %d, want 0", got)
+	}
+	// All four jobs converged identically: same design, same model, same
+	// seed, and the batcher must not have mixed up outputs.
+	ref, _ := jobs[0].Result()
+	for _, j := range jobs[1:] {
+		res, _ := j.Result()
+		if res.HPWL != ref.HPWL || res.Iterations != ref.Iterations {
+			t.Errorf("job %d diverged: %d iters HPWL %v vs %d iters HPWL %v",
+				j.ID(), res.Iterations, res.HPWL, ref.Iterations, ref.HPWL)
+		}
+	}
+	t.Logf("batched inference: %d requests in %d batches (%d coalesced)",
+		requests, batches, coalesced)
+}

@@ -116,6 +116,11 @@ type Spec struct {
 	// served from the cache without running an engine. Empty disables
 	// caching for this job.
 	Key string
+	// Model names a field model from the scheduler's ModelRegistry to
+	// blend into the job's early placement stage (§3.3). Empty runs the
+	// pure numerical flow. Submit rejects names the registry does not
+	// hold with UnknownModelError.
+	Model string
 }
 
 // Options configures a Scheduler.
@@ -152,6 +157,14 @@ type Options struct {
 	// CheckpointEvery is the running-job checkpoint period in GP iterations
 	// (default 25 when a Store is set; <0 disables checkpointing).
 	CheckpointEvery int
+	// Models is the registry of named field models jobs may select via
+	// Spec.Model (the daemon's -models dir). Nil rejects every model
+	// request. When set, all jobs on this scheduler share one batched
+	// inference path (see nnBatcher).
+	Models *ModelRegistry
+	// ModelBatchWindow is the micro-batch coalescing window of the shared
+	// inference path (0 = 500µs default).
+	ModelBatchWindow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -502,6 +515,10 @@ type Scheduler struct {
 	cacheHits   *obs.Counter
 	cacheMisses *obs.Counter
 	fallbacks   *obs.Counter
+
+	models  *ModelRegistry
+	batcher *nnBatcher
+	nnJobs  *obs.Counter
 }
 
 // New starts a scheduler with its engine pool and worker set. With
@@ -567,6 +584,15 @@ func New(opts Options) (*Scheduler, error) {
 	s.cacheHits = reg.Counter("xserve_cache_hits_total", "submissions served from the result cache")
 	s.cacheMisses = reg.Counter("xserve_cache_misses_total", "keyed submissions that missed the result cache")
 	s.fallbacks = reg.Counter("xserve_fallback_total", "diverged jobs rescued by the lbub fallback strategy")
+	if o.Models != nil {
+		s.models = o.Models
+		s.batcher = newNNBatcher(o.ModelBatchWindow, reg)
+		s.nnJobs = reg.Counter("xserve_nn_jobs_total", "jobs run with a field model attached")
+		reg.GaugeFunc("xserve_nn_models_loaded", "field models in the registry",
+			func() float64 { return float64(o.Models.Len()) })
+		reg.GaugeFunc("xserve_nn_model_refs", "live job references across all field models",
+			func() float64 { return float64(o.Models.totalRefs()) })
+	}
 	if s.store != nil {
 		reg.GaugeFunc("xserve_cache_entries", "results in the durable cache",
 			func() float64 { return float64(s.store.CacheLen()) })
@@ -730,6 +756,16 @@ func (s *Scheduler) Registry() *obs.Registry { return s.reg }
 func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if spec.Design == nil || !spec.Design.Finished() {
 		return nil, errors.New("serve: spec needs a finished design")
+	}
+	if spec.Model != "" {
+		// Reject unknown models at submission (a typed 400 at the HTTP
+		// boundary) rather than failing the job after it queued.
+		if s.models == nil {
+			return nil, &UnknownModelError{Name: spec.Model}
+		}
+		if !s.models.Has(spec.Model) {
+			return nil, &UnknownModelError{Name: spec.Model, Known: s.models.Names()}
+		}
 	}
 	base, cancel := context.WithCancel(context.Background())
 	j := &Job{
@@ -939,6 +975,25 @@ func (s *Scheduler) runJob(eng *kernel.Engine, j *Job) {
 	opts := j.spec.Options
 	opts.Progress = j.observe
 	opts.Metrics = s.reg
+	if j.spec.Model != "" {
+		// Attach the shared model through the scheduler's batched
+		// inference path. A recovered job can reach this point on a node
+		// whose registry no longer holds the model (Submit validation
+		// only covers live submissions) — that job fails typed, same as
+		// a 400 would have.
+		if s.models == nil {
+			s.jobFinished(j, nil, &UnknownModelError{Name: j.spec.Model})
+			return
+		}
+		model, release, err := s.models.Acquire(j.spec.Model)
+		if err != nil {
+			s.jobFinished(j, nil, err)
+			return
+		}
+		defer release()
+		opts.Predictor = &batchedPredictor{b: s.batcher, model: model}
+		s.nnJobs.Inc()
+	}
 	if s.store != nil && s.opts.CheckpointEvery > 0 {
 		// Durable resume point every CheckpointEvery iterations. The write
 		// happens on the worker goroutine between iterations; a failed write
@@ -1041,6 +1096,11 @@ func (s *Scheduler) Shutdown(ctx context.Context) error {
 		close(s.queue) // workers exit after draining remaining jobs
 		go func() {
 			s.wg.Wait()
+			if s.batcher != nil {
+				// All workers have exited, so no PredictField can be in
+				// flight or arrive later — the batcher can stop cleanly.
+				s.batcher.shutdown()
+			}
 			close(s.drained)
 		}()
 	}

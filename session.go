@@ -3,6 +3,8 @@ package xplace
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"xplace/internal/detail"
 	"xplace/internal/kernel"
 	"xplace/internal/legal"
+	"xplace/internal/nn"
 	"xplace/internal/obs"
 	"xplace/internal/placer"
 	"xplace/internal/router"
@@ -61,6 +64,7 @@ type Session struct {
 	overhead time.Duration
 	backend  backend.Backend
 	strategy placer.Strategy
+	predict  placer.FieldPredictor
 	tracer   *obs.Tracer
 	metrics  *obs.Registry
 	progress func(Snapshot)
@@ -123,6 +127,47 @@ func WithStrategyName(name string) (Option, error) {
 		return nil, err
 	}
 	return WithStrategy(st), nil
+}
+
+// WithFieldPredictor blends p's predicted field into the early placement
+// stage of every run the session drives (the Xplace-NN flow, §3.3): the
+// predicted Ex/Ey replace a share σ(ω) of the numerical field while the
+// density is still spreading, and the run hands off to the pure numerical
+// flow as σ decays. A per-run PlacementOptions.Predictor wins over the
+// session's choice.
+func WithFieldPredictor(p FieldPredictor) Option {
+	return func(s *Session) { s.predict = p }
+}
+
+// WithFieldModel is WithFieldPredictor from a model artifact on disk; it
+// is what the CLI -model flags map to. The artifact is opened, integrity-
+// checked and loaded HERE — a missing file, foreign format (ErrNotModel),
+// unsupported version (ErrModelVersion) or corrupt payload
+// (ErrModelCorrupt) is a typed error at option-construction time, never a
+// failure mid-placement.
+func WithFieldModel(path string) (Option, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	opt, err := WithFieldModelReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("model %s: %w", path, err)
+	}
+	return opt, nil
+}
+
+// WithFieldModelReader is WithFieldModel for an already-open artifact
+// stream (an embedded model, a registry blob). Load errors carry the nn
+// package's typed sentinels (ErrNotModel, ErrModelVersion,
+// ErrModelCorrupt).
+func WithFieldModelReader(r io.Reader) (Option, error) {
+	m, err := nn.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return WithFieldPredictor(&nn.Predictor{M: m}), nil
 }
 
 // WithTracer records every kernel launch, operator group and flow stage of
@@ -208,6 +253,9 @@ func (s *Session) instrument(opts placer.Options) placer.Options {
 	}
 	if opts.Backend == nil {
 		opts.Backend = s.backend
+	}
+	if opts.Predictor == nil {
+		opts.Predictor = s.predict
 	}
 	if opts.Strategy == placer.StrategyNesterov {
 		opts.Strategy = s.strategy

@@ -80,6 +80,13 @@ type (
 	TrainSample = nn.Sample
 	// TrainOptions configures FNO training.
 	TrainOptions = nn.TrainOptions
+	// FieldPredictor is the placer's neural-field hook: anything that maps
+	// a density grid to a predicted Ex/Ey field (PlacementOptions.Predictor,
+	// WithFieldPredictor). NewFieldPredictor adapts a trained Model.
+	FieldPredictor = placer.FieldPredictor
+	// ModelArtifactHeader is the integrity-checked header of a saved model
+	// artifact (StatModel reads it without loading the weights).
+	ModelArtifactHeader = nn.ArtifactHeader
 	// LEFLibrary is a parsed LEF cell library.
 	LEFLibrary = lefdef.Library
 	// ComputeBackend is a pluggable element-type backend: which numeric
@@ -128,6 +135,18 @@ func StrategyNames() []string { return placer.StrategyNames() }
 var (
 	ErrDiverged             = placer.ErrDiverged
 	ErrStrategyNotResumable = placer.ErrStrategyNotResumable
+)
+
+// Model-artifact sentinels (errors.Is-matchable through LoadModel,
+// StatModel and WithFieldModel): ErrModelNotArtifact marks a stream that
+// is not a model artifact at all; ErrModelVersion an artifact written by
+// an incompatible schema version; ErrModelCorrupt an artifact whose frame
+// parses but whose header or payload fails integrity checking (sha256
+// mismatch, truncation, shape/parameter-count disagreement).
+var (
+	ErrModelNotArtifact = nn.ErrNotModel
+	ErrModelVersion     = nn.ErrModelVersion
+	ErrModelCorrupt     = nn.ErrModelCorrupt
 )
 
 // Wirelength models (the swappable gradient function of the core engine).
@@ -275,12 +294,29 @@ func GenerateTrainingSamples(n, h, w int, seed int64) []TrainSample {
 	return nn.GenerateSamples(n, h, w, seed)
 }
 
+// GenerateBenchmarkTrainingSamples builds training examples from the
+// synthetic contest benchmarks: perBench random placements of each named
+// design are scattered onto a res x res grid and labelled with the
+// numerical Poisson solve — density statistics a placer actually
+// encounters, complementing the purely random maps of
+// GenerateTrainingSamples. Unknown benchmark names are an error.
+func GenerateBenchmarkTrainingSamples(benches []string, perBench, res int, scale float64, seed int64) ([]TrainSample, error) {
+	return nn.GenerateBenchSamples(benches, perBench, res, res, scale, seed)
+}
+
 // NewFieldPredictor adapts a trained model to PlacementOptions.Predictor,
 // turning the placer into Xplace-NN.
 func NewFieldPredictor(m *Model) placer.FieldPredictor { return &nn.Predictor{M: m} }
 
-// LoadModel restores a model saved with Model.Save.
+// LoadModel restores a model saved with Model.Save, verifying the
+// artifact's version, declared shapes and payload checksum (see the
+// ErrModel* sentinels).
 func LoadModel(r io.Reader) (*Model, error) { return nn.Load(r) }
+
+// StatModel reads and validates a model artifact's header (architecture,
+// training resolution, parameter count, payload checksum) without
+// decoding the weights — cheap inspection for tooling like `xtrain -stat`.
+func StatModel(r io.Reader) (ModelArtifactHeader, error) { return nn.Stat(r) }
 
 // WriteSVG renders a placement as SVG (cells colored by kind, fences
 // dashed, optional net flylines). Pass nil positions for stored ones.
